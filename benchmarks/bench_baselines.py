@@ -1,0 +1,93 @@
+"""E13: MiLaN vs. classic hashing baselines at equal bit budgets.
+
+The reason deep hashing exists: learned codes should beat data-independent
+LSH and shallow PCA/ITQ on label-based retrieval, approaching the float-
+feature upper bound at a fraction of its cost.  Expected shape:
+float kNN >= MiLaN > ITQ >= PCA-sign > LSH.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BruteForceFeatureIndex,
+    ITQHashing,
+    PCASignHashing,
+    RandomHyperplaneLSH,
+    SpectralHashing,
+)
+from repro.core.similarity import shares_label_matrix
+from repro.index import LinearScanIndex
+from repro.metrics import mean_average_precision
+
+from .conftest import print_table
+
+NUM_BITS = 64
+
+
+@pytest.fixture(scope="module")
+def baseline_codes(bench_features, bench_hasher):
+    lsh = RandomHyperplaneLSH(NUM_BITS, seed=0).fit(bench_features)
+    pca = PCASignHashing(NUM_BITS).fit(bench_features)
+    itq = ITQHashing(NUM_BITS, iterations=40, seed=0).fit(bench_features)
+    spectral = SpectralHashing(NUM_BITS).fit(bench_features)
+    return {
+        "MiLaN (deep)": bench_hasher.hash_packed(bench_features),
+        "ITQ": itq.hash_packed(bench_features),
+        "Spectral": spectral.hash_packed(bench_features),
+        "PCA-sign": pca.hash_packed(bench_features),
+        "LSH": lsh.hash_packed(bench_features),
+    }
+
+
+def _map_for_codes(codes, labels):
+    index = LinearScanIndex(NUM_BITS)
+    index.build(list(range(codes.shape[0])), codes)
+    similar = shares_label_matrix(labels)
+    ranked = []
+    for q in range(0, codes.shape[0], codes.shape[0] // 60):
+        results = [r for r in index.search_knn(codes[q], 11) if r.item_id != q][:10]
+        ranked.append(np.array([float(similar[q, r.item_id]) for r in results]))
+    return mean_average_precision(ranked, k=10)
+
+
+def _map_for_floats(features, labels):
+    index = BruteForceFeatureIndex()
+    index.build(list(range(len(features))), features)
+    similar = shares_label_matrix(labels)
+    ranked = []
+    for q in range(0, len(features), len(features) // 60):
+        results = [r for r in index.search_knn(features[q], 11) if r.item_id != q][:10]
+        ranked.append(np.array([float(similar[q, r.item_id]) for r in results]))
+    return mean_average_precision(ranked, k=10)
+
+
+def test_baseline_quality_table(benchmark, baseline_codes, bench_features, bench_labels):
+    """The E13 comparison table."""
+    def run():
+        rows = [["float kNN (upper bound)",
+                 f"{_map_for_floats(bench_features, bench_labels):.3f}"]]
+        for name, codes in baseline_codes.items():
+            rows.append([name, f"{_map_for_codes(codes, bench_labels):.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"E13: retrieval quality at {NUM_BITS} bits",
+                ["method", "mAP@10"], rows)
+
+    scores = {name: float(value) for name, value in rows}
+    assert scores["MiLaN (deep)"] > scores["LSH"], "learned codes must beat LSH"
+    assert scores["MiLaN (deep)"] >= scores["PCA-sign"] - 0.02
+    random_rate = float(shares_label_matrix(bench_labels).mean())
+    assert all(score > random_rate for score in scores.values())
+
+
+@pytest.mark.parametrize("method", ["MiLaN (deep)", "ITQ", "Spectral",
+                                    "PCA-sign", "LSH"])
+def test_baseline_search_latency(benchmark, baseline_codes, method):
+    """All binary methods share the same per-query search cost."""
+    codes = baseline_codes[method]
+    index = LinearScanIndex(NUM_BITS)
+    index.build(list(range(codes.shape[0])), codes)
+    benchmark.group = "E13 per-query latency (64-bit scan)"
+    benchmark(lambda: index.search_knn(codes[0], 10))

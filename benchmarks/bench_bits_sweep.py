@@ -1,0 +1,64 @@
+"""E9: the 128-bit design choice — code length vs quality vs cost.
+
+Trains MiLaN at 16/32/64/128 bits (session fixture) and reports mAP@10,
+per-query scan latency, and storage.  Expected shape: quality saturates with
+more bits while storage/latency grow linearly in words — the demo's 128 bits
+sit at the saturation knee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import shares_label_matrix
+from repro.index import LinearScanIndex
+from repro.index.codes import storage_bytes
+from repro.metrics import mean_average_precision
+
+from .conftest import print_table
+
+BITS = [16, 32, 64, 128]
+
+
+def _map_at_10(hasher, features, labels) -> float:
+    codes = hasher.hash_packed(features)
+    index = LinearScanIndex(hasher.num_bits)
+    index.build(list(range(len(features))), codes)
+    similar = shares_label_matrix(labels)
+    ranked = []
+    for q in range(0, len(features), len(features) // 60):
+        results = [r for r in index.search_knn(codes[q], 11) if r.item_id != q][:10]
+        ranked.append(np.array([float(similar[q, r.item_id]) for r in results]))
+    return mean_average_precision(ranked, k=10)
+
+
+@pytest.mark.parametrize("bits", BITS)
+def test_bits_query_latency(benchmark, hashers_by_bits, bench_features, bits):
+    """Per-query scan latency at each code length."""
+    hasher = hashers_by_bits[bits]
+    codes = hasher.hash_packed(bench_features)
+    index = LinearScanIndex(bits)
+    index.build(list(range(len(bench_features))), codes)
+    benchmark.group = "E9 bits sweep: query latency"
+    benchmark(lambda: index.search_knn(codes[0], 10))
+
+
+def test_bits_quality_table(benchmark, hashers_by_bits, bench_features, bench_labels):
+    """mAP@10 and storage per code length."""
+    def sweep():
+        rows = []
+        for bits in BITS:
+            score = _map_at_10(hashers_by_bits[bits], bench_features, bench_labels)
+            rows.append([bits, f"{score:.3f}",
+                         storage_bytes(len(bench_features), bits) // 1024])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("E9: code length vs retrieval quality",
+                ["bits", "mAP@10", "archive KiB"], rows)
+
+    scores = [float(r[1]) for r in rows]
+    # Longer codes must not collapse quality; 128 bits >= 16 bits.
+    assert scores[-1] >= scores[0] - 0.02
+    # All trained lengths beat chance by a wide margin.
+    random_rate = float(shares_label_matrix(bench_labels).mean())
+    assert min(scores) > random_rate

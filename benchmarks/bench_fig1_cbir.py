@@ -1,0 +1,58 @@
+"""E1 (Figure 1): content-based image retrieval in EarthQube.
+
+The paper's Figure 1 shows a beach query returning visually similar beaches.
+We reproduce the behaviour: a query image's top-k neighbours share its CLC
+labels far more often than chance, and the query itself is answered at
+interactive latency.  Run with ``-s`` to see the retrieval table.
+"""
+
+import numpy as np
+
+from repro.core.similarity import shares_label_matrix
+
+from .conftest import print_table
+
+
+def test_fig1_query_latency(benchmark, bench_system):
+    """Latency of one query-by-existing-example (k=10) through the system."""
+    name = bench_system.archive.names[0]
+    result = benchmark(lambda: bench_system.similar_images(name, k=10))
+    assert len(result.names) > 0
+
+
+def test_fig1_retrieval_is_semantic(benchmark, bench_system):
+    """Precision@10 of CBIR vs. the random-pair baseline, over 50 queries."""
+    system = bench_system
+    labels = system.archive.label_matrix()
+    similar = shares_label_matrix(labels)
+    query_rows = list(range(0, len(system.archive), len(system.archive) // 50))
+
+    def run_queries():
+        precisions = []
+        for q in query_rows:
+            result = system.similar_images(system.archive.names[q], k=10)
+            rows = [system.archive.index_of(n) for n in result.names]
+            if rows:
+                precisions.append(float(np.mean([similar[q, r] for r in rows])))
+        return float(np.mean(precisions))
+
+    precision = benchmark.pedantic(run_queries, rounds=1, iterations=1)
+    random_baseline = float(similar.mean())
+
+    # The Figure-1 style table for one concrete query.
+    q = query_rows[0]
+    query_name = system.archive.names[q]
+    query_labels = set(system.archive[q].labels)
+    rows = []
+    for r in system.similar_images(query_name, k=5).results:
+        neighbor = system.archive.get(str(r.item_id))
+        rows.append([r.item_id, r.distance,
+                     ", ".join(sorted(query_labels & set(neighbor.labels))) or "-"])
+    print_table(f"Figure 1 reproduction: neighbours of {query_name} "
+                f"(labels: {sorted(query_labels)})",
+                ["neighbour", "hamming", "shared labels"], rows)
+    print(f"precision@10 over {len(query_rows)} queries: {precision:.3f} "
+          f"(random-pair baseline: {random_baseline:.3f})")
+
+    assert precision > random_baseline + 0.15, \
+        "CBIR must clearly beat random co-labeling"

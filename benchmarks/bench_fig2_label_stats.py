@@ -1,0 +1,48 @@
+"""E2 (Figure 2-4): the label-statistics bar chart.
+
+Reproduces the result panel's Label statistics view: occurrence counts with
+CLC colors for a query's retrieval, and benchmarks the aggregation path
+(search + statistics) at interactive latency.
+"""
+
+from repro.earthqube import LabelOperator, QuerySpec
+
+from .conftest import print_table
+
+
+def _spec() -> QuerySpec:
+    return QuerySpec(labels=("Industrial or commercial units",
+                             "Water bodies", "Water courses"),
+                     label_operator=LabelOperator.SOME)
+
+
+def test_fig2_statistics_latency(benchmark, bench_system):
+    """Search + label-statistics aggregation latency."""
+    spec = _spec()
+
+    def run():
+        response = bench_system.search(spec)
+        return bench_system.statistics_for(response.documents)
+
+    stats = benchmark(run)
+    assert stats.total_images > 0
+
+
+def test_fig2_bar_chart_content(benchmark, bench_system):
+    """The chart rows: every selected label appears; colors are CLC colors."""
+    spec = _spec()
+    response = bench_system.search(spec)
+    stats = benchmark.pedantic(
+        lambda: bench_system.statistics_for(response.documents),
+        rounds=1, iterations=1)
+
+    rows = [[label, count, color] for label, count, color in stats.as_rows()[:10]]
+    print_table(f"Figure 2-4 reproduction: label statistics of "
+                f"'{spec.describe()}' ({stats.total_images} images)",
+                ["label", "count", "color"], rows)
+
+    for selected in spec.labels:
+        assert selected in stats.counts, f"selected label {selected!r} missing"
+    # Counts bounded by the retrieval size and consistent with totals.
+    assert max(stats.counts.values()) <= stats.total_images
+    assert stats.dominant(1)[0] == stats.labels[0]

@@ -1,0 +1,85 @@
+"""E11: the data tier's geohash 2D index vs. a collection scan.
+
+"To improve query performance, we index the location attribute using
+MongoDB's built-in 2D geohashing index."  We measure the same rectangle
+query against the metadata collection with and without the geohash index at
+growing collection sizes.  Expected shape: the indexed path examines a small
+candidate set and stays fast; the scan path grows linearly.
+"""
+
+import pytest
+
+from repro.bigearthnet import SyntheticArchive
+from repro.bigearthnet.labels import LabelCharCodec
+from repro.config import ArchiveConfig
+from repro.earthqube.ingest import metadata_document
+from repro.geo import BoundingBox, Rectangle
+from repro.store import Collection
+
+from .conftest import print_table
+
+SIZES = [1_000, 5_000, 20_000]
+QUERY = Rectangle(BoundingBox(west=12.0, south=47.0, east=13.5, north=48.5))
+
+
+def _metadata_docs(n: int) -> list[dict]:
+    archive = SyntheticArchive.generate(
+        ArchiveConfig(num_patches=n, seed=n), with_pixels=False)
+    codec = LabelCharCodec()
+    return [metadata_document(p, codec) for p in archive]
+
+
+@pytest.fixture(scope="module")
+def geo_collections():
+    """Per size: (indexed collection, unindexed collection)."""
+    out = {}
+    for n in SIZES:
+        docs = _metadata_docs(n)
+        indexed = Collection("meta_indexed", primary_key="name")
+        indexed.create_geo_index("location", precision=4)
+        indexed.insert_many(docs)
+        plain = Collection("meta_plain", primary_key="name")
+        plain.insert_many(docs)
+        out[n] = (indexed, plain)
+    return out
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_spatial_query_with_geo_index(benchmark, geo_collections, n):
+    indexed, _ = geo_collections[n]
+    benchmark.group = f"E11 spatial query @ N={n}"
+    result = benchmark(
+        lambda: indexed.find({"location": {"$geoIntersects": QUERY}}))
+    assert result.plan == "geo_index:location"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_spatial_query_collection_scan(benchmark, geo_collections, n):
+    _, plain = geo_collections[n]
+    benchmark.group = f"E11 spatial query @ N={n}"
+    result = benchmark(
+        lambda: plain.find({"location": {"$geoIntersects": QUERY}}))
+    assert result.plan == "scan"
+
+
+def test_geo_index_prunes_candidates(benchmark, geo_collections):
+    """Identical results; far fewer candidates examined."""
+    def run():
+        rows = []
+        for n in SIZES:
+            indexed, plain = geo_collections[n]
+            with_index = indexed.find({"location": {"$geoIntersects": QUERY}})
+            without = plain.find({"location": {"$geoIntersects": QUERY}})
+            assert sorted(d["name"] for d in with_index) == \
+                   sorted(d["name"] for d in without)
+            rows.append([n, len(with_index), with_index.candidates_examined,
+                         without.candidates_examined])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E11: geohash index candidate pruning",
+                ["collection size", "matches", "candidates (indexed)",
+                 "candidates (scan)"], rows)
+    for n, _, indexed_candidates, scan_candidates in rows:
+        assert indexed_candidates < scan_candidates / 5, \
+            f"index must prune most of the {n} documents"

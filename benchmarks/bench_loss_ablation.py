@@ -1,0 +1,85 @@
+"""E10: ablation of the three MiLaN losses.
+
+Trains four configurations — triplet only, +bit-balance, +quantization, and
+the full objective — and reports mAP@10, bit entropy (what the balance loss
+buys), and quantization error (what the quantization loss buys).  Expected
+shape: each auxiliary loss improves its own diagnostic without hurting mAP;
+the paper's full combination is the best-rounded configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MiLaNConfig
+from repro.core import MiLaNHasher
+from repro.core.binarize import bit_entropy, quantization_error
+from repro.core.similarity import shares_label_matrix
+from repro.index import LinearScanIndex
+from repro.metrics import mean_average_precision
+
+from .conftest import print_table, train_config
+
+ABLATIONS = {
+    "triplet only": dict(weight_bit_balance=0.0, weight_independence=0.0,
+                         weight_quantization=0.0),
+    "+ bit balance": dict(weight_quantization=0.0),
+    "+ quantization": dict(weight_bit_balance=0.0, weight_independence=0.0),
+    "full (paper)": dict(),
+}
+
+
+@pytest.fixture(scope="module")
+def ablated_hashers(bench_features, bench_labels):
+    out = {}
+    for name, overrides in ABLATIONS.items():
+        config = MiLaNConfig(num_bits=48, hidden_sizes=(128, 64), **overrides)
+        hasher = MiLaNHasher(config, train_config(epochs=10))
+        out[name] = hasher.fit(bench_features, bench_labels)
+    return out
+
+
+def _metrics(hasher, features, labels):
+    continuous = hasher.hash_continuous(features)
+    bits = hasher.hash_bits(features)
+    codes = hasher.hash_packed(features)
+    index = LinearScanIndex(hasher.num_bits)
+    index.build(list(range(len(features))), codes)
+    similar = shares_label_matrix(labels)
+    ranked = []
+    for q in range(0, len(features), len(features) // 50):
+        results = [r for r in index.search_knn(codes[q], 11) if r.item_id != q][:10]
+        ranked.append(np.array([float(similar[q, r.item_id]) for r in results]))
+    return (mean_average_precision(ranked, k=10),
+            bit_entropy(bits),
+            quantization_error(continuous))
+
+
+def test_loss_ablation_table(benchmark, ablated_hashers, bench_features, bench_labels):
+    """The E10 table: per-ablation quality and code diagnostics."""
+    def run():
+        rows = []
+        for name, hasher in ablated_hashers.items():
+            score, entropy, qerror = _metrics(hasher, bench_features, bench_labels)
+            rows.append([name, f"{score:.3f}", f"{entropy:.3f}", f"{qerror:.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E10: MiLaN loss ablation (48 bits)",
+                ["configuration", "mAP@10", "bit entropy", "quant. error"], rows)
+
+    by_name = {row[0]: row for row in rows}
+    # Quantization loss reduces quantization error vs triplet-only.
+    assert float(by_name["+ quantization"][3]) <= float(by_name["triplet only"][3])
+    # Full configuration keeps balanced bits.
+    assert float(by_name["full (paper)"][2]) > 0.85
+    # Everything beats chance.
+    random_rate = float(shares_label_matrix(bench_labels).mean())
+    assert all(float(row[1]) > random_rate for row in rows)
+
+
+@pytest.mark.parametrize("name", list(ABLATIONS))
+def test_ablation_inference_latency(benchmark, ablated_hashers, bench_features, name):
+    """Hashing throughput is unchanged by the training-time ablation."""
+    hasher = ablated_hashers[name]
+    benchmark.group = "E10 inference latency"
+    benchmark(lambda: hasher.hash_packed(bench_features[:100]))

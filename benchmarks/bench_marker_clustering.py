@@ -1,0 +1,45 @@
+"""E14: map-view marker clustering across zoom levels.
+
+The UI clusters markers into groups when zoomed out; clustering must stay
+interactive for result sets up to the render cap and beyond.  Expected
+shape: latency is linear in marker count and flat across zooms; cluster
+counts grow monotonically with zoom.
+"""
+
+import numpy as np
+import pytest
+
+from repro.earthqube.markers import Marker, MarkerClusterer
+
+from .conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def many_markers():
+    rng = np.random.default_rng(11)
+    return [
+        Marker(f"m{i}", float(rng.uniform(-10, 31)), float(rng.uniform(36, 70)))
+        for i in range(10_000)
+    ]
+
+
+@pytest.mark.parametrize("zoom", [3, 6, 10, 14])
+def test_clustering_latency(benchmark, many_markers, zoom):
+    clusterer = MarkerClusterer(zoom)
+    benchmark.group = "E14 cluster 10k markers"
+    clusters = benchmark(lambda: clusterer.cluster(many_markers))
+    assert sum(c.count for c in clusters) == len(many_markers)
+
+
+def test_cluster_counts_by_zoom(benchmark, many_markers):
+    """Cluster-group counts per zoom (the zoomed-out -> zoomed-in series)."""
+    def run():
+        return [[zoom, len(MarkerClusterer(zoom).cluster(many_markers))]
+                for zoom in (2, 4, 6, 8, 10, 12, 14)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E14: marker cluster groups by zoom (10k markers)",
+                ["zoom", "clusters"], rows)
+    counts = [r[1] for r in rows]
+    assert counts == sorted(counts), "zooming in must only split clusters"
+    assert counts[0] < 200 and counts[-1] > 1000

@@ -1,0 +1,116 @@
+"""E6: hash-table lookups vs. scans — the "real-time search" claim.
+
+The paper's motivation for hashing: bucket lookups within a small Hamming
+radius are (near-)constant in archive size, while any scan is O(N).  We
+measure per-query latency of four retrieval paths across archive sizes:
+
+* hash-table bucket enumeration (radius 1) — the paper's structure,
+* Multi-Index Hashing (radius 2),
+* packed-code linear scan (the FAISS-flat equivalent),
+* float-feature brute force (no hashing at all).
+
+Expected shape: the first two stay flat as N grows; the scans grow linearly
+(visible in the pytest-benchmark table grouped by N).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BruteForceFeatureIndex
+from repro.index import HashTableIndex, LinearScanIndex, MultiIndexHashing
+
+from .conftest import random_packed_codes
+
+SIZES = [2_000, 10_000, 50_000]
+NUM_BITS = 128
+
+
+@pytest.fixture(scope="module")
+def speed_setup():
+    """Indexes of each kind at every archive size, built once."""
+    setups = {}
+    for n in SIZES:
+        codes = random_packed_codes(n, NUM_BITS, seed=n)
+        ids = np.arange(n)
+        table = HashTableIndex(NUM_BITS)
+        table.add_many(ids.tolist(), codes)
+        mih = MultiIndexHashing(NUM_BITS, num_tables=4)
+        mih.build(ids.tolist(), codes)
+        scan = LinearScanIndex(NUM_BITS)
+        scan.build(ids.tolist(), codes)
+        rng = np.random.default_rng(7)
+        floats = rng.standard_normal((n, 130))
+        brute = BruteForceFeatureIndex()
+        brute.build(ids.tolist(), floats)
+        setups[n] = {"codes": codes, "table": table, "mih": mih,
+                     "scan": scan, "brute": brute, "floats": floats}
+    return setups
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_hashtable_bucket_lookup(benchmark, speed_setup, n):
+    """Paper's structure: bucket probes within Hamming radius 1."""
+    setup = speed_setup[n]
+    query = setup["codes"][0]
+    benchmark.group = f"E6 retrieval @ N={n}"
+    benchmark(lambda: setup["table"].search_radius(query, 1))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_mih_radius2(benchmark, speed_setup, n):
+    """Multi-index hashing at the demo's radius 2."""
+    setup = speed_setup[n]
+    query = setup["codes"][0]
+    benchmark.group = f"E6 retrieval @ N={n}"
+    benchmark(lambda: setup["mih"].search_radius(query, 2))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_packed_linear_scan(benchmark, speed_setup, n):
+    """O(N) popcount scan over packed codes."""
+    setup = speed_setup[n]
+    query = setup["codes"][0]
+    benchmark.group = f"E6 retrieval @ N={n}"
+    benchmark(lambda: setup["scan"].search_knn(query, 10))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_float_brute_force(benchmark, speed_setup, n):
+    """No hashing: exact kNN over 130-d float features."""
+    setup = speed_setup[n]
+    query = setup["floats"][0]
+    benchmark.group = f"E6 retrieval @ N={n}"
+    benchmark(lambda: setup["brute"].search_knn(query, 10))
+
+
+def test_hash_lookup_latency_flat_in_archive_size(benchmark, speed_setup):
+    """The headline claim, asserted: bucket-lookup latency grows far slower
+    than linear-scan latency as N goes 2k -> 50k."""
+    import time
+
+    def best_of(callable_, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            callable_()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    small, large = SIZES[0], SIZES[-1]
+    q_small = speed_setup[small]["codes"][0]
+    q_large = speed_setup[large]["codes"][0]
+
+    def measure():
+        table_growth = (
+            best_of(lambda: speed_setup[large]["table"].search_radius(q_large, 1))
+            / best_of(lambda: speed_setup[small]["table"].search_radius(q_small, 1)))
+        scan_growth = (
+            best_of(lambda: speed_setup[large]["scan"].search_knn(q_large, 10))
+            / best_of(lambda: speed_setup[small]["scan"].search_knn(q_small, 10)))
+        return table_growth, scan_growth
+
+    table_growth, scan_growth = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nE6 growth small->large (x{large // small} items): "
+          f"hash-table x{table_growth:.2f}, linear scan x{scan_growth:.2f}")
+    assert table_growth < scan_growth, \
+        "bucket lookups must scale better than linear scans"

@@ -1,0 +1,55 @@
+"""E3/E4/E5: the paper's three demonstration scenarios, end to end.
+
+Each scenario is benchmarked as one full visitor flow against the
+bootstrapped system (the bootstrap itself is session-scoped and excluded
+from timings).
+"""
+
+from repro.workloads import (
+    run_label_exploration,
+    run_query_by_new_example,
+    run_spatial_query_by_example,
+)
+
+from .conftest import print_table
+
+
+def test_scenario1_label_exploration(benchmark, bench_system):
+    """E3: industrial areas adjacent to inland waters, 10 countries."""
+    result = benchmark(lambda: run_label_exploration(bench_system))
+    assert result.total_matches > 0
+    assert result.statistics is not None
+    print_table("Scenario 1: label exploration",
+                ["metric", "value"],
+                [["matches", result.total_matches],
+                 ["distinct labels in stats", len(result.statistics)],
+                 ["agriculture co-occurrence",
+                  result.notes["agriculture_cooccurrence"]]])
+
+
+def test_scenario2_spatial_qbe(benchmark, bench_system):
+    """E4: SW-Portugal rectangle, render, then query-by-existing-example."""
+    result = benchmark(lambda: run_spatial_query_by_example(bench_system, k=10))
+    assert result.query_name is not None
+    assert len(result.neighbor_names) > 0
+    print_table("Scenario 2: spatial + query-by-example",
+                ["metric", "value"],
+                [["images in SW Portugal", result.total_matches],
+                 ["rendered", result.notes["rendered"]],
+                 ["neighbours", len(result.neighbor_names)],
+                 ["neighbour countries", len(result.notes["neighbor_countries"])]])
+
+
+def test_scenario3_query_by_new_example(benchmark, bench_system):
+    """E5: upload an unlabeled image, search, auto-label from neighbours."""
+    result = benchmark(lambda: run_query_by_new_example(bench_system, k=10))
+    assert len(result.neighbor_names) > 0
+    recovered = result.notes["recovered_labels"]
+    print_table("Scenario 3: query-by-new-example",
+                ["metric", "value"],
+                [["neighbours", len(result.neighbor_names)],
+                 ["true labels", ", ".join(result.notes["true_labels"])],
+                 ["predicted", ", ".join(result.notes["predicted_labels"]) or "-"],
+                 ["recovered", ", ".join(recovered) or "-"]])
+    # The automatic-labeling sketch must recover at least one true label.
+    assert len(recovered) >= 1

@@ -1,0 +1,39 @@
+"""Demo scenario 3 — query-by-new-example + automatic labeling.
+
+A visitor uploads a freshly acquired (unlabeled) Sentinel-2 image; EarthQube
+hashes it on the fly, retrieves semantically similar archive images, and the
+neighbours' labels vote for an automatic annotation (paper, Section 4):
+
+    python examples/query_by_new_example.py
+"""
+
+from repro import ArchiveConfig, EarthQube, EarthQubeConfig, MiLaNConfig, TrainConfig
+from repro.workloads import run_query_by_new_example
+
+
+def main() -> None:
+    system = EarthQube.bootstrap(EarthQubeConfig(
+        archive=ArchiveConfig(num_patches=600, seed=55),
+        milan=MiLaNConfig(num_bits=64, hidden_sizes=(128, 64)),
+        train=TrainConfig(epochs=15, triplets_per_epoch=1024, batch_size=64),
+    ), verbose=True)
+
+    for true_labels in (
+        ("Coniferous forest", "Water bodies"),
+        ("Sea and ocean", "Beaches, dunes, sands"),
+        ("Non-irrigated arable land", "Pastures"),
+    ):
+        result = run_query_by_new_example(system, labels=true_labels, k=10)
+        print(f"\nUploaded image with (hidden) labels: {list(true_labels)}")
+        print(f"  neighbours found: {len(result.neighbor_names)}")
+        print("  neighbour label votes:")
+        for label, count, _ in result.statistics.as_rows()[:6]:
+            marker = " <-- true label" if label in true_labels else ""
+            print(f"    {count:3d}  {label}{marker}")
+        print(f"  automatic annotation: {result.notes['predicted_labels']}")
+        recovered = result.notes["recovered_labels"]
+        print(f"  recovered {len(recovered)}/{len(true_labels)} true labels")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: bootstrap EarthQube and run one of each query type.
+
+Builds a small synthetic BigEarthNet archive, trains MiLaN, and exercises
+the public API end to end:
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ArchiveConfig,
+    EarthQube,
+    EarthQubeConfig,
+    LabelOperator,
+    MiLaNConfig,
+    QuerySpec,
+    TrainConfig,
+)
+from repro.geo import BoundingBox, Rectangle
+
+
+def main() -> None:
+    config = EarthQubeConfig(
+        archive=ArchiveConfig(num_patches=400, seed=1),
+        milan=MiLaNConfig(num_bits=64, hidden_sizes=(128, 64)),
+        train=TrainConfig(epochs=15, triplets_per_epoch=1024, batch_size=64),
+    )
+    print("Bootstrapping EarthQube (archive + data tier + MiLaN) ...")
+    system = EarthQube.bootstrap(config, verbose=True)
+    print("\nSystem:", system.describe(), "\n")
+
+    # 1. Attribute search: summer images with coniferous forest.
+    spec = QuerySpec(
+        seasons=("Summer",),
+        labels=("Coniferous forest",),
+        label_operator=LabelOperator.SOME,
+        limit=5,
+    )
+    response = system.search(spec)
+    print(f"Query [{spec.describe()}]: {response.total_matches} matches "
+          f"(plan: {response.plan})")
+    for doc in response:
+        props = doc["properties"]
+        print(f"  {doc['name']}: {props['country']}, labels={props['labels']}")
+
+    # 2. Spatial search over Finland.
+    finland = Rectangle(BoundingBox(west=20.6, south=59.8, east=31.5, north=70.1))
+    spatial = system.search(QuerySpec(shape=finland, limit=3))
+    print(f"\nSpatial query over Finland: {spatial.total_matches} matches")
+
+    # 3. Content-based image retrieval from the first result.
+    if response.names:
+        query_name = response.names[0]
+        similar = system.similar_images(query_name, k=5)
+        query_labels = set(system.archive.get(query_name).labels)
+        print(f"\nImages similar to {query_name} (labels: {sorted(query_labels)}):")
+        for result in similar.results:
+            neighbor_labels = set(system.archive.get(str(result.item_id)).labels)
+            shared = query_labels & neighbor_labels
+            print(f"  d={result.distance:3d}  {result.item_id}  "
+                  f"shared labels: {sorted(shared) or '-'}")
+
+    # 4. Label statistics, the result panel's bar chart.
+    stats = system.statistics_for(response.documents)
+    print("\nLabel statistics of the first search:")
+    for label, count, color in stats.as_rows()[:5]:
+        print(f"  {count:3d}  {color}  {label}")
+
+
+if __name__ == "__main__":
+    main()

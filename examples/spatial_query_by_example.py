@@ -1,0 +1,55 @@
+"""Demo scenario 2 — spatial exploration + query-by-existing-example.
+
+A visitor draws a rectangle over the southwestern tip of Portugal, renders
+the matching images, picks one, and retrieves similar images across all 10
+countries (paper, Section 4):
+
+    python examples/spatial_query_by_example.py
+"""
+
+from repro import ArchiveConfig, EarthQube, EarthQubeConfig, MiLaNConfig, TrainConfig
+from repro.workloads import run_spatial_query_by_example
+from repro.workloads.scenarios import SW_PORTUGAL
+
+
+def main() -> None:
+    system = EarthQube.bootstrap(EarthQubeConfig(
+        archive=ArchiveConfig(num_patches=600, seed=33),
+        milan=MiLaNConfig(num_bits=64, hidden_sizes=(128, 64)),
+        train=TrainConfig(epochs=12, triplets_per_epoch=1024, batch_size=64),
+    ), verbose=True)
+
+    box = SW_PORTUGAL.box
+    print(f"\nGeospatial query: rectangle "
+          f"({box.west}, {box.south}) .. ({box.east}, {box.north})")
+    result = run_spatial_query_by_example(system, k=10)
+
+    print(f"Images in SW Portugal: {result.total_matches} "
+          f"({result.notes['rendered']} rendered on the map)")
+    query_doc = system.documents_for([result.query_name])[0]
+    print(f"\nSelected query image: {result.query_name}")
+    print(f"  labels: {query_doc['properties']['labels']}")
+
+    print(f"\nTop similar images (Hamming radius used: "
+          f"{result.notes['radius_used']}):")
+    query_labels = set(query_doc["properties"]["labels"])
+    for doc in system.documents_for(result.neighbor_names):
+        props = doc["properties"]
+        shared = query_labels & set(props["labels"])
+        print(f"  {doc['name']}  {props['country']:<12} "
+              f"shared: {sorted(shared) or '-'}")
+
+    print(f"\nNeighbor countries: {result.notes['neighbor_countries']}")
+    print("(CBIR reaches beyond the spatial query: similar content is found "
+          "wherever it occurs.)")
+
+    # Map view: cluster the spatial results at a country-level zoom.
+    response = system.search(__import__("repro").QuerySpec(shape=SW_PORTUGAL))
+    clusters = system.markers_for(response, zoom=6)
+    print(f"\nMap view at zoom 6: {len(clusters)} marker cluster group(s)")
+    for cluster in clusters[:5]:
+        print(f"  ({cluster.lon:.2f}, {cluster.lat:.2f})  x{cluster.count}")
+
+
+if __name__ == "__main__":
+    main()

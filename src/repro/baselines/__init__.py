@@ -1,0 +1,30 @@
+"""Baseline retrieval methods for experiment E13.
+
+MiLaN's claim is *learned* codes beat data-independent and shallow
+data-dependent hashing at equal bit budgets.  We implement the standard
+comparison set:
+
+* :class:`RandomHyperplaneLSH` — data-independent sign-random-projection
+  LSH (Charikar, 2002),
+* :class:`PCASignHashing` — PCA to ``num_bits`` dimensions, sign threshold,
+* :class:`ITQHashing` — PCA + Iterative Quantization rotation (Gong &
+  Lazebnik, CVPR 2011), the strong shallow baseline,
+* :class:`SpectralHashing` — Laplacian-eigenfunction hashing (Weiss et
+  al., NIPS 2008),
+* :class:`BruteForceFeatureIndex` — exact float-feature kNN, the accuracy
+  upper bound (and the storage/latency anti-baseline for E6/E7).
+"""
+
+from .brute_force import BruteForceFeatureIndex
+from .itq import ITQHashing
+from .lsh import RandomHyperplaneLSH
+from .pca_sign import PCASignHashing
+from .spectral import SpectralHashing
+
+__all__ = [
+    "RandomHyperplaneLSH",
+    "PCASignHashing",
+    "ITQHashing",
+    "SpectralHashing",
+    "BruteForceFeatureIndex",
+]

@@ -1,0 +1,76 @@
+"""Iterative Quantization (ITQ) hashing (Gong & Lazebnik, CVPR 2011).
+
+PCA-sign wastes bits because principal components have wildly different
+variances; ITQ learns an orthogonal rotation ``R`` of the PCA-projected data
+that minimizes the quantization error ``||B - V R||_F`` by alternating:
+
+1. ``B = sign(V R)`` (optimal codes given the rotation),
+2. ``R = S Ŝᵀ`` from the SVD ``BᵀV = S Ω Ŝᵀ`` (orthogonal Procrustes).
+
+The strongest *shallow* baseline in the E13 comparison — data-dependent but
+label-blind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ShapeError, ValidationError
+from ..features.pca import PCA
+from ..index.codes import pack_bits
+from ..utils.rng import as_rng
+
+
+class ITQHashing:
+    """PCA + learned orthogonal rotation + sign threshold."""
+
+    def __init__(self, num_bits: int, iterations: int = 50,
+                 seed: "int | np.random.Generator | None" = 0) -> None:
+        if num_bits <= 0 or num_bits % 8 != 0:
+            raise ValidationError(f"num_bits must be a positive multiple of 8, got {num_bits}")
+        if iterations < 1:
+            raise ValidationError(f"iterations must be >= 1, got {iterations}")
+        self.num_bits = num_bits
+        self.iterations = iterations
+        self._seed = seed
+        self._pca = PCA(num_bits)
+        self.rotation_: "np.ndarray | None" = None
+        self.quantization_errors_: list[float] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.rotation_ is not None
+
+    def fit(self, features: np.ndarray) -> "ITQHashing":
+        """Fit PCA then run the alternating rotation updates."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ShapeError(f"fit expects (N, F), got shape {features.shape}")
+        projected = self._pca.fit_transform(features)  # (N, num_bits)
+        rng = as_rng(self._seed)
+        # Random orthogonal init via QR of a Gaussian matrix.
+        random_matrix = rng.standard_normal((self.num_bits, self.num_bits))
+        rotation, _ = np.linalg.qr(random_matrix)
+        self.quantization_errors_ = []
+        n = projected.shape[0]
+        for _ in range(self.iterations):
+            rotated = projected @ rotation
+            binary = np.where(rotated >= 0, 1.0, -1.0)
+            self.quantization_errors_.append(float(((binary - rotated) ** 2).sum() / n))
+            # Orthogonal Procrustes: rotation closest to mapping V onto B.
+            s, _, s_hat_t = np.linalg.svd(binary.T @ projected)
+            rotation = (s @ s_hat_t).T
+        self.rotation_ = rotation
+        return self
+
+    def hash_bits(self, features: np.ndarray) -> np.ndarray:
+        """``{0,1}`` bits for ``(N, F)`` or ``(F,)`` features."""
+        if self.rotation_ is None:
+            raise NotFittedError("ITQHashing used before fit()")
+        projected = self._pca.transform(features)
+        rotated = projected @ self.rotation_
+        return (rotated >= 0).astype(np.uint8)
+
+    def hash_packed(self, features: np.ndarray) -> np.ndarray:
+        """Packed uint64 codes."""
+        return pack_bits(self.hash_bits(features))

@@ -1,0 +1,61 @@
+"""Random-hyperplane LSH (sign random projections).
+
+Data-independent binary hashing: bit ``i`` is the sign of the dot product
+with a random Gaussian direction.  Preserves cosine similarity in
+expectation but ignores label structure entirely — the floor that learned
+hashing should clear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ShapeError, ValidationError
+from ..index.codes import pack_bits
+from ..utils.rng import as_rng
+
+
+class RandomHyperplaneLSH:
+    """Sign-random-projection hashing to ``num_bits`` bits."""
+
+    def __init__(self, num_bits: int, seed: "int | np.random.Generator | None" = 0) -> None:
+        if num_bits <= 0 or num_bits % 8 != 0:
+            raise ValidationError(f"num_bits must be a positive multiple of 8, got {num_bits}")
+        self.num_bits = num_bits
+        self._seed = seed
+        self._projections: "np.ndarray | None" = None
+        self._mean: "np.ndarray | None" = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._projections is not None
+
+    def fit(self, features: np.ndarray) -> "RandomHyperplaneLSH":
+        """Draw projections for the feature dimension; centers on the data
+        mean so hyperplanes pass through the cloud."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ShapeError(f"fit expects (N, F), got shape {features.shape}")
+        rng = as_rng(self._seed)
+        self._mean = features.mean(axis=0)
+        self._projections = rng.standard_normal((features.shape[1], self.num_bits))
+        return self
+
+    def hash_bits(self, features: np.ndarray) -> np.ndarray:
+        """``{0,1}`` bits for ``(N, F)`` or ``(F,)`` features."""
+        if self._projections is None or self._mean is None:
+            raise NotFittedError("RandomHyperplaneLSH used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        squeeze = features.ndim == 1
+        if squeeze:
+            features = features[None, :]
+        if features.shape[1] != self._projections.shape[0]:
+            raise ShapeError(
+                f"feature dim {features.shape[1]} does not match fitted "
+                f"{self._projections.shape[0]}")
+        bits = ((features - self._mean) @ self._projections >= 0).astype(np.uint8)
+        return bits[0] if squeeze else bits
+
+    def hash_packed(self, features: np.ndarray) -> np.ndarray:
+        """Packed uint64 codes."""
+        return pack_bits(self.hash_bits(features))

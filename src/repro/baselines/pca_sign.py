@@ -1,0 +1,42 @@
+"""PCA-sign hashing: project to the top principal components, threshold at
+zero.  The classic "spectral" baseline — data-dependent but rotation-naive,
+so its bits are badly unbalanced past the first few components; ITQ exists
+to fix exactly that."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ValidationError
+from ..features.pca import PCA
+from ..index.codes import pack_bits
+
+
+class PCASignHashing:
+    """sign(PCA(x)) hashing to ``num_bits`` bits."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits <= 0 or num_bits % 8 != 0:
+            raise ValidationError(f"num_bits must be a positive multiple of 8, got {num_bits}")
+        self.num_bits = num_bits
+        self._pca = PCA(num_bits)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._pca.is_fitted
+
+    def fit(self, features: np.ndarray) -> "PCASignHashing":
+        """Fit the PCA basis on training features."""
+        self._pca.fit(np.asarray(features, dtype=np.float64))
+        return self
+
+    def hash_bits(self, features: np.ndarray) -> np.ndarray:
+        """``{0,1}`` bits for ``(N, F)`` or ``(F,)`` features."""
+        if not self._pca.is_fitted:
+            raise NotFittedError("PCASignHashing used before fit()")
+        projected = self._pca.transform(features)
+        return (projected >= 0).astype(np.uint8)
+
+    def hash_packed(self, features: np.ndarray) -> np.ndarray:
+        """Packed uint64 codes."""
+        return pack_bits(self.hash_bits(features))

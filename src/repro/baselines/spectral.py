@@ -1,0 +1,90 @@
+"""Spectral Hashing (Weiss, Torralba & Fergus, NIPS 2008).
+
+The third classic shallow baseline: assuming a (separable) uniform data
+distribution along the principal axes, the eigenfunctions of the graph
+Laplacian are sinusoids along each axis, and the best ``num_bits``
+eigenfunctions — those with the smallest analytical eigenvalues — are
+thresholded at zero to form the code.
+
+Included because the MiLaN lineage papers compare against SH alongside LSH
+and ITQ; it typically beats LSH and loses to ITQ, which the E13 bench can
+confirm here too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ShapeError, ValidationError
+from ..features.pca import PCA
+from ..index.codes import pack_bits
+
+
+class SpectralHashing:
+    """PCA + analytical Laplacian eigenfunctions + sign threshold."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits <= 0 or num_bits % 8 != 0:
+            raise ValidationError(f"num_bits must be a positive multiple of 8, got {num_bits}")
+        self.num_bits = num_bits
+        self._pca: "PCA | None" = None  # sized at fit time (<= feature dim)
+        self._mins: "np.ndarray | None" = None
+        self._ranges: "np.ndarray | None" = None
+        # (bit, axis, mode) selection: which sinusoid mode on which PCA axis
+        self._modes: "np.ndarray | None" = None  # (num_bits, 2) int
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._modes is not None
+
+    def fit(self, features: np.ndarray) -> "SpectralHashing":
+        """Fit PCA, axis extents, and pick the smallest-eigenvalue modes."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ShapeError(f"fit expects (N, F), got shape {features.shape}")
+        # More bits than dimensions is fine: extra bits come from higher
+        # sinusoid modes on the same axes.
+        components = min(self.num_bits, features.shape[1], features.shape[0])
+        self._pca = PCA(components)
+        projected = self._pca.fit_transform(features)
+        self._mins = projected.min(axis=0)
+        maxs = projected.max(axis=0)
+        self._ranges = np.maximum(maxs - self._mins, 1e-9)
+
+        # Eigenvalue of mode m on an axis of length r: (m * pi / r)^2 —
+        # enumerate (axis, mode) pairs and keep the num_bits smallest.
+        axes = projected.shape[1]
+        candidates: list[tuple[float, int, int]] = []
+        for axis in range(axes):
+            for mode in range(1, self.num_bits + 1):
+                eigenvalue = (mode * np.pi / self._ranges[axis]) ** 2
+                candidates.append((eigenvalue, axis, mode))
+        candidates.sort()
+        chosen = candidates[: self.num_bits]
+        self._modes = np.array([(axis, mode) for _, axis, mode in chosen], dtype=int)
+        return self
+
+    def _eigenfunctions(self, projected: np.ndarray) -> np.ndarray:
+        assert self._mins is not None and self._ranges is not None
+        assert self._modes is not None
+        normalized = (projected - self._mins) / self._ranges  # [0, 1] per axis
+        out = np.empty((projected.shape[0], self.num_bits))
+        for bit, (axis, mode) in enumerate(self._modes):
+            out[:, bit] = np.sin(np.pi * mode * normalized[:, axis] + np.pi / 2.0)
+        return out
+
+    def hash_bits(self, features: np.ndarray) -> np.ndarray:
+        """``{0,1}`` bits for ``(N, F)`` or ``(F,)`` features."""
+        if self._modes is None or self._pca is None:
+            raise NotFittedError("SpectralHashing used before fit()")
+        features = np.asarray(features, dtype=np.float64)
+        squeeze = features.ndim == 1
+        if squeeze:
+            features = features[None, :]
+        projected = self._pca.transform(features)
+        bits = (self._eigenfunctions(projected) >= 0).astype(np.uint8)
+        return bits[0] if squeeze else bits
+
+    def hash_packed(self, features: np.ndarray) -> np.ndarray:
+        """Packed uint64 codes."""
+        return pack_bits(self.hash_bits(features))

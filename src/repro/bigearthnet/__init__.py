@@ -1,0 +1,48 @@
+"""Synthetic BigEarthNet archive substrate.
+
+The paper evaluates on BigEarthNet [Sumbul et al. 2021]: 590,326 Sentinel-1/
+Sentinel-2 patch pairs over 10 European countries, each annotated with CLC
+2018 Level-3 multi-labels.  The real archive is a ~66 GB download; this
+package generates a faithful *synthetic* stand-in (see DESIGN.md §2):
+
+* :mod:`repro.bigearthnet.clc` — the full 3-level CLC nomenclature used by
+  BigEarthNet (43 Level-3 classes), with per-label display colors,
+* :mod:`repro.bigearthnet.labels` — the label→ASCII-char codec the paper's
+  data tier uses to accelerate label filtering,
+* :mod:`repro.bigearthnet.countries` — the 10 BigEarthNet countries with
+  bounding boxes and land-cover theme priors,
+* :mod:`repro.bigearthnet.synthesis` — patch pixel synthesis from per-class
+  spectral signatures (12 S2 bands at 10/20/60 m + S1 VV/VH),
+* :mod:`repro.bigearthnet.archive` — the archive builder and container.
+"""
+
+from .archive import SyntheticArchive
+from .clc import (
+    BIGEARTHNET_LABELS,
+    CLCNomenclature,
+    get_nomenclature,
+)
+from .countries import COUNTRIES, Country
+from .labels import LabelCharCodec
+from .patch import Patch, S2_BAND_NAMES, S2_BANDS_10M, S2_BANDS_20M, S2_BANDS_60M
+from .seasons import SEASONS, season_of
+from .synthesis import PatchSynthesizer, SpectralSignatureModel
+
+__all__ = [
+    "SyntheticArchive",
+    "BIGEARTHNET_LABELS",
+    "CLCNomenclature",
+    "get_nomenclature",
+    "COUNTRIES",
+    "Country",
+    "LabelCharCodec",
+    "Patch",
+    "S2_BAND_NAMES",
+    "S2_BANDS_10M",
+    "S2_BANDS_20M",
+    "S2_BANDS_60M",
+    "SEASONS",
+    "season_of",
+    "PatchSynthesizer",
+    "SpectralSignatureModel",
+]

@@ -1,0 +1,233 @@
+"""CORINE Land Cover (CLC) nomenclature as used by BigEarthNet.
+
+BigEarthNet annotates every patch "with multi-labels provided by the CLC map
+of 2018 based on its thematically most detailed Level-3 class nomenclature"
+(paper, Section 2.1), and EarthQube "groups the labels in a three-level
+hierarchy following the structure of the CLC land cover classes nomenclature"
+(Section 3.1).  This module encodes that hierarchy for the 43 Level-3 classes
+present in BigEarthNet, each with:
+
+* its CLC code (e.g. ``"312"`` for Coniferous forest),
+* its Level-1/Level-2 parents,
+* a representative display color (used by the label-statistics bar chart:
+  "we map each label to a predefined color that is representative of the
+  land cover type", Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import UnknownLabelError
+
+LEVEL1 = {
+    "1": "Artificial surfaces",
+    "2": "Agricultural areas",
+    "3": "Forest and semi-natural areas",
+    "4": "Wetlands",
+    "5": "Water bodies",
+}
+
+LEVEL2 = {
+    "11": "Urban fabric",
+    "12": "Industrial, commercial and transport units",
+    "13": "Mine, dump and construction sites",
+    "14": "Artificial, non-agricultural vegetated areas",
+    "21": "Arable land",
+    "22": "Permanent crops",
+    "23": "Pastures",
+    "24": "Heterogeneous agricultural areas",
+    "31": "Forests",
+    "32": "Scrub and/or herbaceous vegetation associations",
+    "33": "Open spaces with little or no vegetation",
+    "41": "Inland wetlands",
+    "42": "Maritime wetlands",
+    "51": "Inland waters",
+    "52": "Marine waters",
+}
+
+# (CLC code, label name, display color) — the 43 BigEarthNet Level-3 classes.
+# Colors follow the official CLC color scheme (hex).
+_LEVEL3: list[tuple[str, str, str]] = [
+    ("111", "Continuous urban fabric", "#e6004d"),
+    ("112", "Discontinuous urban fabric", "#ff0000"),
+    ("121", "Industrial or commercial units", "#cc4df2"),
+    ("122", "Road and rail networks and associated land", "#cc0000"),
+    ("123", "Port areas", "#e6cccc"),
+    ("124", "Airports", "#e6cce6"),
+    ("131", "Mineral extraction sites", "#a600cc"),
+    ("132", "Dump sites", "#a64dcc"),
+    ("133", "Construction sites", "#ff4dff"),
+    ("141", "Green urban areas", "#ffa6ff"),
+    ("142", "Sport and leisure facilities", "#ffe6ff"),
+    ("211", "Non-irrigated arable land", "#ffffa8"),
+    ("212", "Permanently irrigated land", "#ffff00"),
+    ("213", "Rice fields", "#e6e600"),
+    ("221", "Vineyards", "#e68000"),
+    ("222", "Fruit trees and berry plantations", "#f2a64d"),
+    ("223", "Olive groves", "#e6a600"),
+    ("231", "Pastures", "#e6e64d"),
+    ("241", "Annual crops associated with permanent crops", "#ffe6a6"),
+    ("242", "Complex cultivation patterns", "#ffe64d"),
+    ("243", "Land principally occupied by agriculture, with significant areas of"
+            " natural vegetation", "#e6cc4d"),
+    ("244", "Agro-forestry areas", "#f2cca6"),
+    ("311", "Broad-leaved forest", "#80ff00"),
+    ("312", "Coniferous forest", "#00a600"),
+    ("313", "Mixed forest", "#4dff00"),
+    ("321", "Natural grassland", "#ccf24d"),
+    ("322", "Moors and heathland", "#a6ff80"),
+    ("323", "Sclerophyllous vegetation", "#a6e64d"),
+    ("324", "Transitional woodland/shrub", "#a6f200"),
+    ("331", "Beaches, dunes, sands", "#e6e6e6"),
+    ("332", "Bare rock", "#cccccc"),
+    ("333", "Sparsely vegetated areas", "#ccffcc"),
+    ("334", "Burnt areas", "#000000"),
+    ("411", "Inland marshes", "#a6a6ff"),
+    ("412", "Peatbogs", "#4d4dff"),
+    ("421", "Salt marshes", "#ccccff"),
+    ("422", "Salines", "#e6e6ff"),
+    ("423", "Intertidal flats", "#a6a6e6"),
+    ("511", "Water courses", "#00ccf2"),
+    ("512", "Water bodies", "#80f2e6"),
+    ("521", "Coastal lagoons", "#00ffa6"),
+    ("522", "Estuaries", "#a6ffe6"),
+    ("523", "Sea and ocean", "#e6f2ff"),
+]
+
+BIGEARTHNET_LABELS: tuple[str, ...] = tuple(name for _, name, _ in _LEVEL3)
+"""The 43 BigEarthNet CLC Level-3 label names, in CLC code order."""
+
+
+@dataclass(frozen=True)
+class CLCClass:
+    """One Level-3 CLC class with its position in the hierarchy."""
+
+    code: str
+    name: str
+    color: str
+
+    @property
+    def level1_code(self) -> str:
+        return self.code[0]
+
+    @property
+    def level2_code(self) -> str:
+        return self.code[:2]
+
+    @property
+    def level1_name(self) -> str:
+        return LEVEL1[self.level1_code]
+
+    @property
+    def level2_name(self) -> str:
+        return LEVEL2[self.level2_code]
+
+
+class CLCNomenclature:
+    """The three-level CLC hierarchy over BigEarthNet's 43 Level-3 classes.
+
+    Provides name/code/index lookups in both directions plus hierarchy
+    navigation (children of a Level-1/Level-2 class), which backs the query
+    panel's hierarchical label selector.
+    """
+
+    def __init__(self) -> None:
+        self._classes = tuple(CLCClass(code, name, color) for code, name, color in _LEVEL3)
+        self._by_name = {c.name: c for c in self._classes}
+        self._by_code = {c.code: c for c in self._classes}
+        self._index_by_name = {c.name: i for i, c in enumerate(self._classes)}
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self):
+        return iter(self._classes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All Level-3 label names in canonical (CLC code) order."""
+        return tuple(c.name for c in self._classes)
+
+    def by_name(self, name: str) -> CLCClass:
+        """Lookup a class by its Level-3 label name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownLabelError(f"unknown CLC label name: {name!r}") from None
+
+    def by_code(self, code: str) -> CLCClass:
+        """Lookup a class by its 3-digit CLC code."""
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise UnknownLabelError(f"unknown CLC code: {code!r}") from None
+
+    def index_of(self, name: str) -> int:
+        """Dense index of a label name (used by label matrices)."""
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise UnknownLabelError(f"unknown CLC label name: {name!r}") from None
+
+    def name_of(self, index: int) -> str:
+        """Inverse of :meth:`index_of`."""
+        if not 0 <= index < len(self._classes):
+            raise UnknownLabelError(f"label index out of range [0, {len(self._classes)}): {index}")
+        return self._classes[index].name
+
+    def color_of(self, name: str) -> str:
+        """Display color for the label-statistics bar chart."""
+        return self.by_name(name).color
+
+    def level3_under_level1(self, level1_code: str) -> list[CLCClass]:
+        """All Level-3 classes under a Level-1 code (e.g. ``"3"``)."""
+        if level1_code not in LEVEL1:
+            raise UnknownLabelError(f"unknown CLC Level-1 code: {level1_code!r}")
+        return [c for c in self._classes if c.level1_code == level1_code]
+
+    def level3_under_level2(self, level2_code: str) -> list[CLCClass]:
+        """All Level-3 classes under a Level-2 code (e.g. ``"31"`` Forests)."""
+        if level2_code not in LEVEL2:
+            raise UnknownLabelError(f"unknown CLC Level-2 code: {level2_code!r}")
+        return [c for c in self._classes if c.level2_code == level2_code]
+
+    def expand_selection(self, codes: "list[str] | tuple[str, ...]") -> list[str]:
+        """Expand a mixed-level code selection to Level-3 label names.
+
+        The UI lets users tick a Level-1 or Level-2 node to select all its
+        Level-3 leaves (the example in the paper: selecting the Level-2 class
+        *Forests* selects Broad-leaved, Coniferous, and Mixed forest).
+        """
+        names: list[str] = []
+        seen: set[str] = set()
+        for code in codes:
+            if code in LEVEL1:
+                expansion = self.level3_under_level1(code)
+            elif code in LEVEL2:
+                expansion = self.level3_under_level2(code)
+            else:
+                expansion = [self.by_code(code)]
+            for cls in expansion:
+                if cls.name not in seen:
+                    seen.add(cls.name)
+                    names.append(cls.name)
+        return names
+
+    def validate_names(self, names: "list[str] | tuple[str, ...]") -> list[str]:
+        """Validate label names, returning them de-duplicated in input order."""
+        out: list[str] = []
+        seen: set[str] = set()
+        for name in names:
+            self.by_name(name)  # raises on unknown
+            if name not in seen:
+                seen.add(name)
+                out.append(name)
+        return out
+
+
+@lru_cache(maxsize=1)
+def get_nomenclature() -> CLCNomenclature:
+    """The shared, immutable nomenclature instance."""
+    return CLCNomenclature()

@@ -1,0 +1,126 @@
+"""The 10 BigEarthNet countries with bounding boxes and land-cover priors.
+
+BigEarthNet patches were "acquired from 10 European countries (i.e., Austria,
+Belgium, Finland, Ireland, Kosovo, Lithuania, Luxembourg, Portugal, Serbia,
+Switzerland) between June 2017 and May 2018" (paper, Section 2.1).
+
+Each country carries:
+
+* an approximate geographic bounding box (degrees) used to place synthetic
+  patches,
+* a prior over land-cover *themes* (see :mod:`repro.bigearthnet.synthesis`)
+  so the synthetic label distribution has the plausible per-country skew —
+  Finland is forest/peatbog-heavy, Portugal has coasts and agriculture,
+  Switzerland and Austria contribute bare rock and conifers, etc.,
+* a sampling weight roughly proportional to the country's patch share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geo.bbox import BoundingBox
+
+
+@dataclass(frozen=True)
+class Country:
+    """One BigEarthNet acquisition country."""
+
+    name: str
+    code: str
+    bbox: BoundingBox
+    theme_weights: dict[str, float] = field(hash=False)
+    sampling_weight: float = 1.0
+    coastal: bool = False
+
+
+COUNTRIES: tuple[Country, ...] = (
+    Country(
+        name="Austria", code="AT",
+        bbox=BoundingBox(west=9.5, south=46.4, east=17.2, north=49.0),
+        theme_weights={"forest": 0.30, "alpine": 0.25, "agrarian": 0.25,
+                       "urban": 0.10, "inland_water": 0.10},
+        sampling_weight=1.2,
+    ),
+    Country(
+        name="Belgium", code="BE",
+        bbox=BoundingBox(west=2.5, south=49.5, east=6.4, north=51.5),
+        theme_weights={"urban": 0.30, "agrarian": 0.40, "forest": 0.15,
+                       "coastal": 0.05, "inland_water": 0.10},
+        sampling_weight=0.8, coastal=True,
+    ),
+    Country(
+        name="Finland", code="FI",
+        bbox=BoundingBox(west=20.6, south=59.8, east=31.5, north=70.1),
+        theme_weights={"forest": 0.45, "wetland": 0.20, "inland_water": 0.20,
+                       "agrarian": 0.10, "coastal": 0.05},
+        sampling_weight=1.6, coastal=True,
+    ),
+    Country(
+        name="Ireland", code="IE",
+        bbox=BoundingBox(west=-10.5, south=51.4, east=-6.0, north=55.4),
+        theme_weights={"pastoral": 0.40, "wetland": 0.15, "coastal": 0.20,
+                       "agrarian": 0.15, "urban": 0.10},
+        sampling_weight=1.0, coastal=True,
+    ),
+    Country(
+        name="Kosovo", code="XK",
+        bbox=BoundingBox(west=20.0, south=41.8, east=21.8, north=43.3),
+        theme_weights={"agrarian": 0.35, "forest": 0.30, "pastoral": 0.20,
+                       "urban": 0.15},
+        sampling_weight=0.5,
+    ),
+    Country(
+        name="Lithuania", code="LT",
+        bbox=BoundingBox(west=21.0, south=53.9, east=26.8, north=56.4),
+        theme_weights={"agrarian": 0.40, "forest": 0.30, "inland_water": 0.10,
+                       "wetland": 0.10, "coastal": 0.05, "urban": 0.05},
+        sampling_weight=1.0, coastal=True,
+    ),
+    Country(
+        name="Luxembourg", code="LU",
+        bbox=BoundingBox(west=5.7, south=49.4, east=6.5, north=50.2),
+        theme_weights={"agrarian": 0.35, "forest": 0.30, "urban": 0.25,
+                       "pastoral": 0.10},
+        sampling_weight=0.3,
+    ),
+    Country(
+        name="Portugal", code="PT",
+        bbox=BoundingBox(west=-9.5, south=37.0, east=-6.2, north=42.1),
+        theme_weights={"mediterranean": 0.30, "coastal": 0.25, "agrarian": 0.25,
+                       "forest": 0.10, "urban": 0.10},
+        sampling_weight=1.2, coastal=True,
+    ),
+    Country(
+        name="Serbia", code="RS",
+        bbox=BoundingBox(west=18.8, south=42.2, east=23.0, north=46.2),
+        theme_weights={"agrarian": 0.40, "forest": 0.25, "pastoral": 0.15,
+                       "urban": 0.10, "inland_water": 0.10},
+        sampling_weight=1.1,
+    ),
+    Country(
+        name="Switzerland", code="CH",
+        bbox=BoundingBox(west=6.0, south=45.8, east=10.5, north=47.8),
+        theme_weights={"alpine": 0.35, "forest": 0.20, "pastoral": 0.20,
+                       "agrarian": 0.10, "urban": 0.10, "inland_water": 0.05},
+        sampling_weight=0.9,
+    ),
+)
+
+_BY_NAME = {c.name: c for c in COUNTRIES}
+_BY_CODE = {c.code: c for c in COUNTRIES}
+
+
+def by_name(name: str) -> Country:
+    """Country lookup by English name; raises ``KeyError`` when unknown."""
+    return _BY_NAME[name]
+
+
+def by_code(code: str) -> Country:
+    """Country lookup by ISO-like code; raises ``KeyError`` when unknown."""
+    return _BY_CODE[code]
+
+
+def country_names() -> list[str]:
+    """All 10 country names in declaration order."""
+    return [c.name for c in COUNTRIES]

@@ -1,0 +1,113 @@
+"""Label <-> ASCII character codec (the paper's data-tier optimization).
+
+"To improve the performance of label-based filtering, we map each
+(potentially multi-word) CLC label to an ASCII character, thereby avoiding
+the manipulation of long strings" (paper, Section 3.2).
+
+:class:`LabelCharCodec` assigns each Level-3 label a single printable ASCII
+character and encodes a label *set* as a sorted character string.  Set
+operations used by the three filter operators (Some / Exactly / At least &
+more) become tiny string/set operations over single characters instead of
+comparisons over multi-word strings like
+``"Land principally occupied by agriculture, with significant areas of
+natural vegetation"``.  Experiment E12 benchmarks this codec against the
+raw-string path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import CodecError
+from .clc import CLCNomenclature, get_nomenclature
+
+# Printable, non-quote, non-backslash ASCII starting at 'A' — 43 labels fit
+# comfortably in 'A'..'z' (readable in stored documents and debug dumps).
+_FIRST_CHAR = ord("A")
+
+
+class LabelCharCodec:
+    """Bijective mapping between CLC Level-3 label names and single chars."""
+
+    def __init__(self, nomenclature: "CLCNomenclature | None" = None) -> None:
+        nomenclature = nomenclature or get_nomenclature()
+        names = nomenclature.names
+        if len(names) > 122 - _FIRST_CHAR + 1:
+            raise CodecError(f"cannot map {len(names)} labels into single ASCII characters")
+        self._char_by_name: dict[str, str] = {}
+        self._name_by_char: dict[str, str] = {}
+        for i, name in enumerate(names):
+            char = chr(_FIRST_CHAR + i)
+            self._char_by_name[name] = char
+            self._name_by_char[char] = name
+
+    def __len__(self) -> int:
+        return len(self._char_by_name)
+
+    def char_of(self, name: str) -> str:
+        """The single-character code of a label name."""
+        try:
+            return self._char_by_name[name]
+        except KeyError:
+            raise CodecError(f"unknown label name: {name!r}") from None
+
+    def name_of(self, char: str) -> str:
+        """The label name behind a single-character code."""
+        try:
+            return self._name_by_char[char]
+        except KeyError:
+            raise CodecError(f"unknown label character: {char!r}") from None
+
+    def encode(self, names: Iterable[str]) -> str:
+        """Encode a label set as a canonical (sorted, de-duplicated) string."""
+        chars = {self.char_of(name) for name in names}
+        return "".join(sorted(chars))
+
+    def decode(self, encoded: str) -> list[str]:
+        """Decode an encoded string back to label names (in char order)."""
+        seen: set[str] = set()
+        names: list[str] = []
+        for char in encoded:
+            name = self.name_of(char)
+            if char not in seen:
+                seen.add(char)
+                names.append(name)
+        return names
+
+    # ------------------------------------------------------------------ #
+    # Set predicates over encoded strings — the fast paths behind the
+    # three label filter operators.
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def intersects(encoded_a: str, encoded_b: str) -> bool:
+        """Do two encoded label sets share at least one label? (*Some*)
+
+        Encoded sets are tiny (<= 43 single characters), so a direct
+        substring scan (`c in other`) beats building hash sets per call —
+        this is precisely the "avoid manipulating long strings" win.
+        """
+        if len(encoded_b) < len(encoded_a):
+            encoded_a, encoded_b = encoded_b, encoded_a
+        for c in encoded_a:
+            if c in encoded_b:
+                return True
+        return False
+
+    @staticmethod
+    def equals(encoded_a: str, encoded_b: str) -> bool:
+        """Are two encoded label sets identical? (*Exactly*)
+
+        Encoded strings are canonical (sorted, unique), so this is plain
+        string equality — the whole point of the codec.
+        """
+        return encoded_a == encoded_b
+
+    @staticmethod
+    def contains_all(encoded_superset: str, encoded_subset: str) -> bool:
+        """Does the first set contain every label of the second?
+        (*At least & more*)"""
+        for c in encoded_subset:
+            if c not in encoded_superset:
+                return False
+        return True

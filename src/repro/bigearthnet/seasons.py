@@ -1,0 +1,45 @@
+"""Season handling for patch metadata.
+
+EarthQube lets users "filter the data based on the acquisition date range,
+satellites, seasons, and labels" (paper, Section 3.1).  BigEarthNet spans
+June 2017 through May 2018 — exactly one of each meteorological season —
+so seasons are derived from the acquisition date with the usual
+meteorological convention (DJF winter, MAM spring, JJA summer, SON autumn).
+"""
+
+from __future__ import annotations
+
+from datetime import date, datetime
+
+from ..errors import ValidationError
+
+SEASONS: tuple[str, ...] = ("Winter", "Spring", "Summer", "Autumn")
+
+_SEASON_BY_MONTH = {
+    12: "Winter", 1: "Winter", 2: "Winter",
+    3: "Spring", 4: "Spring", 5: "Spring",
+    6: "Summer", 7: "Summer", 8: "Summer",
+    9: "Autumn", 10: "Autumn", 11: "Autumn",
+}
+
+
+def season_of(when: "date | datetime | str") -> str:
+    """Meteorological season of a date (or ISO ``YYYY-MM-DD`` string)."""
+    if isinstance(when, str):
+        try:
+            when = date.fromisoformat(when[:10])
+        except ValueError:
+            raise ValidationError(f"not an ISO date: {when!r}") from None
+    if isinstance(when, datetime):
+        when = when.date()
+    if not isinstance(when, date):
+        raise ValidationError(f"expected date/datetime/ISO string, got {type(when).__name__}")
+    return _SEASON_BY_MONTH[when.month]
+
+
+def validate_season(name: str) -> str:
+    """Validate (and canonicalize the case of) a season name."""
+    canonical = name.strip().capitalize()
+    if canonical not in SEASONS:
+        raise ValidationError(f"unknown season {name!r}; expected one of {SEASONS}")
+    return canonical

@@ -1,0 +1,86 @@
+"""Archive summary statistics: distributions and label co-occurrence.
+
+Backs the exploratory side of the demo (and the examples): how patches
+distribute over countries, seasons, and labels, and which labels co-occur —
+the structure MiLaN's metric learning exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+from .archive import SyntheticArchive
+from .clc import get_nomenclature
+
+
+@dataclass
+class ArchiveSummary:
+    """Aggregate statistics of one archive."""
+
+    num_patches: int
+    by_country: dict[str, int]
+    by_season: dict[str, int]
+    label_counts: dict[str, int]
+    labels_per_patch_mean: float
+    labels_per_patch_histogram: dict[int, int]
+    cooccurrence: np.ndarray = field(repr=False)  # (43, 43) counts
+
+    def top_labels(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` most frequent labels with counts."""
+        if n <= 0:
+            raise ValidationError(f"n must be positive, got {n}")
+        ordered = sorted(self.label_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ordered[:n]
+
+    def top_cooccurrences(self, n: int = 10) -> list[tuple[str, str, int]]:
+        """The ``n`` most frequent label pairs."""
+        if n <= 0:
+            raise ValidationError(f"n must be positive, got {n}")
+        nomenclature = get_nomenclature()
+        pairs: list[tuple[str, str, int]] = []
+        count = self.cooccurrence
+        for i in range(count.shape[0]):
+            for j in range(i + 1, count.shape[1]):
+                if count[i, j] > 0:
+                    pairs.append((nomenclature.name_of(i), nomenclature.name_of(j),
+                                  int(count[i, j])))
+        pairs.sort(key=lambda p: (-p[2], p[0], p[1]))
+        return pairs[:n]
+
+    def cooccurrence_probability(self, label_a: str, label_b: str) -> float:
+        """P(both labels on a patch | label_a on the patch)."""
+        nomenclature = get_nomenclature()
+        i = nomenclature.index_of(label_a)
+        j = nomenclature.index_of(label_b)
+        base = self.cooccurrence[i, i]
+        if base == 0:
+            return 0.0
+        return float(self.cooccurrence[i, j] / base)
+
+
+def summarize_archive(archive: SyntheticArchive) -> ArchiveSummary:
+    """Compute an :class:`ArchiveSummary` for ``archive``."""
+    by_country: dict[str, int] = {}
+    by_season: dict[str, int] = {}
+    size_histogram: dict[int, int] = {}
+    for patch in archive:
+        by_country[patch.country] = by_country.get(patch.country, 0) + 1
+        by_season[patch.season] = by_season.get(patch.season, 0) + 1
+        size = len(patch.labels)
+        size_histogram[size] = size_histogram.get(size, 0) + 1
+
+    matrix = archive.label_matrix().astype(np.int64)
+    cooccurrence = matrix.T @ matrix  # diagonal = per-label counts
+
+    return ArchiveSummary(
+        num_patches=len(archive),
+        by_country=dict(sorted(by_country.items())),
+        by_season=dict(sorted(by_season.items())),
+        label_counts=archive.label_counts(),
+        labels_per_patch_mean=float(matrix.sum(axis=1).mean()),
+        labels_per_patch_histogram=dict(sorted(size_histogram.items())),
+        cooccurrence=cooccurrence,
+    )

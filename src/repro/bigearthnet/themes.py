@@ -1,0 +1,187 @@
+"""Land-cover themes: the co-occurrence structure of synthetic labels.
+
+Real CLC labels co-occur in characteristic groups — beaches appear with sea
+and coastal lagoons, conifer stands with mixed forest and transitional
+woodland, industrial units with urban fabric.  A *theme* is a weighted pool
+of Level-3 classes that plausibly share a 1.2 km patch; patch label sets are
+sampled from one theme (with a small chance of a cross-theme extra), which
+gives the synthetic archive realistic multi-label statistics:
+
+* frequent co-occurrence inside themes (the structure MiLaN's triplet loss
+  learns from),
+* per-country label skew via :data:`repro.bigearthnet.countries.COUNTRIES`
+  theme priors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_rng
+from .clc import get_nomenclature
+
+# theme -> [(label, weight), ...]
+THEMES: dict[str, list[tuple[str, float]]] = {
+    "urban": [
+        ("Discontinuous urban fabric", 3.0),
+        ("Continuous urban fabric", 2.0),
+        ("Industrial or commercial units", 2.0),
+        ("Road and rail networks and associated land", 1.5),
+        ("Green urban areas", 1.0),
+        ("Sport and leisure facilities", 0.8),
+        ("Construction sites", 0.6),
+        ("Port areas", 0.5),
+        ("Airports", 0.4),
+        ("Mineral extraction sites", 0.4),
+        ("Dump sites", 0.3),
+        ("Water courses", 0.4),
+    ],
+    "agrarian": [
+        ("Non-irrigated arable land", 3.0),
+        ("Complex cultivation patterns", 2.0),
+        ("Land principally occupied by agriculture, with significant areas of"
+         " natural vegetation", 2.0),
+        ("Pastures", 1.5),
+        ("Permanently irrigated land", 1.0),
+        ("Fruit trees and berry plantations", 0.8),
+        ("Annual crops associated with permanent crops", 0.8),
+        ("Vineyards", 0.7),
+        ("Broad-leaved forest", 0.6),
+        ("Water courses", 0.4),
+        ("Rice fields", 0.3),
+    ],
+    "pastoral": [
+        ("Pastures", 3.0),
+        ("Natural grassland", 2.0),
+        ("Moors and heathland", 1.2),
+        ("Land principally occupied by agriculture, with significant areas of"
+         " natural vegetation", 1.0),
+        ("Complex cultivation patterns", 0.8),
+        ("Agro-forestry areas", 0.5),
+        ("Broad-leaved forest", 0.5),
+    ],
+    "forest": [
+        ("Coniferous forest", 3.0),
+        ("Broad-leaved forest", 2.5),
+        ("Mixed forest", 2.5),
+        ("Transitional woodland/shrub", 1.5),
+        ("Natural grassland", 0.5),
+        ("Water bodies", 0.4),
+        ("Moors and heathland", 0.4),
+    ],
+    "mediterranean": [
+        ("Sclerophyllous vegetation", 2.0),
+        ("Olive groves", 1.5),
+        ("Vineyards", 1.2),
+        ("Agro-forestry areas", 1.0),
+        ("Broad-leaved forest", 0.8),
+        ("Sparsely vegetated areas", 0.7),
+        ("Burnt areas", 0.5),
+        ("Non-irrigated arable land", 0.6),
+    ],
+    "alpine": [
+        ("Bare rock", 2.0),
+        ("Coniferous forest", 2.0),
+        ("Natural grassland", 1.5),
+        ("Sparsely vegetated areas", 1.5),
+        ("Pastures", 1.0),
+        ("Moors and heathland", 0.8),
+        ("Mixed forest", 0.6),
+        ("Water bodies", 0.4),
+    ],
+    "coastal": [
+        ("Sea and ocean", 3.0),
+        ("Beaches, dunes, sands", 1.5),
+        ("Salt marshes", 0.7),
+        ("Coastal lagoons", 0.7),
+        ("Intertidal flats", 0.6),
+        ("Estuaries", 0.6),
+        ("Salines", 0.4),
+        ("Port areas", 0.4),
+        ("Water courses", 0.4),
+        ("Sclerophyllous vegetation", 0.3),
+        ("Discontinuous urban fabric", 0.3),
+    ],
+    "inland_water": [
+        ("Water bodies", 3.0),
+        ("Water courses", 2.0),
+        ("Inland marshes", 1.0),
+        ("Peatbogs", 0.8),
+        ("Broad-leaved forest", 0.7),
+        ("Pastures", 0.6),
+        ("Industrial or commercial units", 0.4),
+        ("Discontinuous urban fabric", 0.3),
+    ],
+    "wetland": [
+        ("Peatbogs", 2.5),
+        ("Inland marshes", 2.0),
+        ("Moors and heathland", 1.5),
+        ("Transitional woodland/shrub", 1.0),
+        ("Water bodies", 1.0),
+        ("Coniferous forest", 0.8),
+        ("Natural grassland", 0.5),
+    ],
+}
+
+# Probability of each label-set size 1..5 (few patches carry 5 labels).
+_SIZE_PROBS = np.array([0.25, 0.30, 0.25, 0.15, 0.05])
+
+# Chance that one sampled label is replaced by a uniformly random class,
+# injecting rare cross-theme co-occurrences.
+_CROSS_THEME_PROB = 0.12
+
+
+def validate_themes() -> None:
+    """Assert every theme label exists in the nomenclature (import-time
+    sanity; also exercised by tests)."""
+    nomenclature = get_nomenclature()
+    for theme, pool in THEMES.items():
+        for label, weight in pool:
+            nomenclature.by_name(label)
+            if weight <= 0:
+                raise ValidationError(f"theme {theme!r} has non-positive weight for {label!r}")
+
+
+def sample_theme(theme_weights: dict[str, float], rng: np.random.Generator) -> str:
+    """Draw a theme name according to a country's theme prior."""
+    names = list(theme_weights)
+    if not names:
+        raise ValidationError("theme_weights must not be empty")
+    weights = np.array([theme_weights[n] for n in names], dtype=np.float64)
+    if (weights <= 0).any():
+        raise ValidationError("theme weights must be positive")
+    weights /= weights.sum()
+    return names[int(rng.choice(len(names), p=weights))]
+
+
+def sample_labels(theme: str, rng: "np.random.Generator | int | None" = None,
+                  min_labels: int = 1, max_labels: int = 5) -> tuple[str, ...]:
+    """Sample a patch's label set from a theme pool.
+
+    The label count follows :data:`_SIZE_PROBS` truncated to
+    ``[min_labels, max_labels]``; labels are drawn without replacement with
+    theme weights; with probability :data:`_CROSS_THEME_PROB` one label is
+    swapped for a uniformly random class.
+    """
+    if theme not in THEMES:
+        raise ValidationError(f"unknown theme {theme!r}; expected one of {sorted(THEMES)}")
+    rng = as_rng(rng)
+    pool = THEMES[theme]
+    size_probs = _SIZE_PROBS[min_labels - 1:max_labels].copy()
+    size_probs /= size_probs.sum()
+    count = int(rng.choice(np.arange(min_labels, min_labels + len(size_probs)), p=size_probs))
+    count = min(count, len(pool))
+
+    names = [label for label, _ in pool]
+    weights = np.array([w for _, w in pool], dtype=np.float64)
+    weights /= weights.sum()
+    chosen = list(rng.choice(len(names), size=count, replace=False, p=weights))
+    labels = [names[i] for i in chosen]
+
+    if rng.random() < _CROSS_THEME_PROB:
+        all_names = get_nomenclature().names
+        extra = str(rng.choice(all_names))
+        if extra not in labels:
+            labels[int(rng.integers(len(labels)))] = extra
+    return tuple(sorted(set(labels)))

@@ -1,0 +1,165 @@
+"""Configuration dataclasses for every subsystem.
+
+Configs are frozen dataclasses: they validate their fields on construction
+(raising :class:`repro.errors.ValidationError` on bad input) and are safe to
+share between threads and to use as dictionary keys.  Every knob the paper's
+system exposes — hash code length, Hamming search radius, archive size,
+training hyper-parameters — lives here, so experiments are reproducible from
+a config object alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ValidationError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValidationError(message)
+
+
+@dataclass(frozen=True)
+class ArchiveConfig:
+    """Parameters of the synthetic BigEarthNet-like archive.
+
+    The defaults mirror the real BigEarthNet layout described in the paper:
+    12 Sentinel-2 bands at three resolutions plus Sentinel-1 VV/VH, images
+    acquired over 10 European countries between June 2017 and May 2018, and
+    1-5 CLC Level-3 labels per patch.
+    """
+
+    num_patches: int = 2000
+    seed: int = 7
+    min_labels: int = 1
+    max_labels: int = 5
+    patch_size_10m: int = 120
+    patch_size_20m: int = 60
+    patch_size_60m: int = 20
+    noise_sigma: float = 0.035
+    texture_smoothing: int = 9
+    include_s1: bool = True
+    start_date: str = "2017-06-01"
+    end_date: str = "2018-05-31"
+
+    def __post_init__(self) -> None:
+        _require(self.num_patches > 0, f"num_patches must be > 0, got {self.num_patches}")
+        _require(1 <= self.min_labels <= self.max_labels,
+                 f"need 1 <= min_labels <= max_labels, got {self.min_labels}..{self.max_labels}")
+        _require(self.patch_size_10m % 2 == 0 and self.patch_size_10m >= 8,
+                 f"patch_size_10m must be even and >= 8, got {self.patch_size_10m}")
+        _require(self.patch_size_20m * 2 == self.patch_size_10m,
+                 "patch_size_20m must be half of patch_size_10m")
+        _require(self.patch_size_60m * 6 == self.patch_size_10m,
+                 "patch_size_60m must be one sixth of patch_size_10m")
+        _require(self.noise_sigma >= 0.0, "noise_sigma must be non-negative")
+        _require(self.texture_smoothing >= 1, "texture_smoothing must be >= 1")
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Feature extractor settings (the stand-in for the frozen CNN backbone)."""
+
+    histogram_bins: int = 8
+    include_spectral_indices: bool = True
+    include_texture: bool = True
+    include_s1: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.histogram_bins >= 2, f"histogram_bins must be >= 2, got {self.histogram_bins}")
+
+
+@dataclass(frozen=True)
+class MiLaNConfig:
+    """MiLaN deep-hashing model and loss hyper-parameters.
+
+    ``num_bits`` defaults to 128 as in the demo.  The three loss weights
+    correspond to the triplet, bit-balance, and quantization losses of the
+    paper; setting a weight to zero ablates that loss (used by experiment
+    E10).
+    """
+
+    num_bits: int = 128
+    hidden_sizes: tuple[int, ...] = (512, 256)
+    triplet_margin: float = 1.0
+    weight_triplet: float = 1.0
+    weight_bit_balance: float = 0.1
+    weight_independence: float = 0.05
+    weight_quantization: float = 0.01
+    dropout: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.num_bits > 0 and self.num_bits % 8 == 0,
+                 f"num_bits must be a positive multiple of 8, got {self.num_bits}")
+        _require(all(h > 0 for h in self.hidden_sizes), "hidden sizes must be positive")
+        _require(self.triplet_margin > 0.0, "triplet_margin must be positive")
+        for name in ("weight_triplet", "weight_bit_balance",
+                     "weight_independence", "weight_quantization"):
+            _require(getattr(self, name) >= 0.0, f"{name} must be non-negative")
+        _require(0.0 <= self.dropout < 1.0, f"dropout must be in [0, 1), got {self.dropout}")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Optimization settings for MiLaN training."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    triplets_per_epoch: int = 2048
+    semi_hard: bool = True
+    seed: int = 13
+    log_every: int = 0
+    early_stop_patience: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.epochs > 0, "epochs must be positive")
+        _require(self.batch_size > 0, "batch_size must be positive")
+        _require(self.learning_rate > 0.0, "learning_rate must be positive")
+        _require(self.weight_decay >= 0.0, "weight_decay must be non-negative")
+        _require(self.triplets_per_epoch >= self.batch_size,
+                 "triplets_per_epoch must be at least batch_size")
+        _require(self.early_stop_patience >= 0, "early_stop_patience must be >= 0")
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Hash-index settings: Hamming radius and multi-index substring count."""
+
+    hamming_radius: int = 2
+    mih_tables: int = 4
+
+    def __post_init__(self) -> None:
+        _require(self.hamming_radius >= 0, "hamming_radius must be >= 0")
+        _require(self.mih_tables >= 1, "mih_tables must be >= 1")
+
+
+@dataclass(frozen=True)
+class GeoIndexConfig:
+    """Geohash 2D-index settings for the document store (data tier)."""
+
+    precision: int = 5
+
+    def __post_init__(self) -> None:
+        _require(1 <= self.precision <= 12,
+                 f"geohash precision must be in [1, 12], got {self.precision}")
+
+
+@dataclass(frozen=True)
+class EarthQubeConfig:
+    """Top-level EarthQube system configuration (ties all tiers together)."""
+
+    archive: ArchiveConfig = field(default_factory=ArchiveConfig)
+    features: FeatureConfig = field(default_factory=FeatureConfig)
+    milan: MiLaNConfig = field(default_factory=MiLaNConfig)
+    train: TrainConfig = field(default_factory=TrainConfig)
+    index: IndexConfig = field(default_factory=IndexConfig)
+    geo_index: GeoIndexConfig = field(default_factory=GeoIndexConfig)
+    max_rendered_images: int = 1000
+    cart_page_limit: int = 50
+
+    def __post_init__(self) -> None:
+        _require(self.max_rendered_images > 0, "max_rendered_images must be positive")
+        _require(self.cart_page_limit > 0, "cart_page_limit must be positive")

@@ -1,0 +1,55 @@
+"""Sign binarization of continuous codes.
+
+The quantization loss keeps network outputs near ±1, so thresholding at zero
+("sign binarization") loses little retrieval quality — exactly the design
+argument of the paper.  Bits are ``{0, 1}`` uint8; packing into machine
+words for fast Hamming arithmetic lives in :mod:`repro.index.codes`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def binarize_continuous(codes: np.ndarray) -> np.ndarray:
+    """Threshold continuous codes at zero -> ``{0, 1}`` uint8 bits.
+
+    Accepts ``(N, K)`` or ``(K,)``; zero maps to bit 1 (ties are rare with
+    tanh outputs and must be deterministic).
+    """
+    codes = np.asarray(codes)
+    if codes.ndim not in (1, 2):
+        raise ShapeError(f"codes must be 1D or 2D, got shape {codes.shape}")
+    return (codes >= 0).astype(np.uint8)
+
+
+def quantization_error(codes: np.ndarray) -> float:
+    """Mean squared gap between continuous codes and their binarized ±1 form.
+
+    The quantity the quantization loss minimizes; reported by the E10
+    ablation bench.
+    """
+    codes = np.asarray(codes, dtype=np.float64)
+    signs = np.where(codes >= 0, 1.0, -1.0)
+    return float(((codes - signs) ** 2).mean())
+
+
+def bit_activation_rates(bits: np.ndarray) -> np.ndarray:
+    """Per-bit activation frequency over a code matrix (balance diagnostic)."""
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ShapeError(f"bits must be (N, K), got shape {bits.shape}")
+    return bits.astype(np.float64).mean(axis=0)
+
+
+def bit_entropy(bits: np.ndarray) -> float:
+    """Mean per-bit Shannon entropy in bits (1.0 = perfectly balanced).
+
+    The bit-balance loss drives this toward 1; the E10 bench reports it.
+    """
+    rates = bit_activation_rates(bits)
+    rates = np.clip(rates, 1e-12, 1 - 1e-12)
+    entropy = -(rates * np.log2(rates) + (1 - rates) * np.log2(1 - rates))
+    return float(entropy.mean())

@@ -1,0 +1,121 @@
+"""The three MiLaN training losses (paper, Section 2.2).
+
+Given continuous code batches (tanh outputs in ``(-1, 1)``):
+
+* :func:`triplet_loss` — "learn a metric space where semantically similar
+  images are close to each other and dissimilar ones are separated";
+* :func:`bit_balance_loss` + :func:`independence_loss` — "forces the hash
+  codes to have a balanced number of binary values (i.e., each bit has a 50%
+  chance to be activated) and makes the different bits independent from each
+  other";
+* :func:`quantization_loss` — "mitigates the performance degradation of the
+  generated hash codes through binarization".
+
+All losses are scalars built from autograd tensors; distances are averaged
+over bits so the margin does not depend on the code length (experiment E9
+sweeps ``num_bits`` with the same margin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MiLaNConfig
+from ..errors import ShapeError
+from ..nn.tensor import Tensor
+
+
+def _check_batch(codes: Tensor, name: str) -> None:
+    if codes.ndim != 2:
+        raise ShapeError(f"{name} must be a (batch, bits) tensor, got shape {codes.shape}")
+
+
+def squared_distances(codes_a: Tensor, codes_b: Tensor) -> Tensor:
+    """Row-wise mean squared distance between two aligned code batches."""
+    _check_batch(codes_a, "codes_a")
+    _check_batch(codes_b, "codes_b")
+    if codes_a.shape != codes_b.shape:
+        raise ShapeError(f"code batches differ in shape: {codes_a.shape} vs {codes_b.shape}")
+    diff = codes_a - codes_b
+    return (diff ** 2).mean(axis=1)
+
+
+def triplet_loss(anchors: Tensor, positives: Tensor, negatives: Tensor,
+                 margin: float = 1.0) -> Tensor:
+    """Mean hinge over triplets: ``max(0, d(a,p) - d(a,n) + margin)``."""
+    d_ap = squared_distances(anchors, positives)
+    d_an = squared_distances(anchors, negatives)
+    return (d_ap - d_an + margin).maximum(0.0).mean()
+
+
+def bit_balance_loss(codes: Tensor) -> Tensor:
+    """Penalize imbalanced bits: squared batch-mean of each bit.
+
+    Zero exactly when every bit is +1 on half the batch and -1 on the other
+    half — the "50% chance to be activated" property.
+    """
+    _check_batch(codes, "codes")
+    return (codes.mean(axis=0) ** 2).mean()
+
+
+def independence_loss(codes: Tensor) -> Tensor:
+    """Penalize correlated bits: ``mean((Hᵀ H / B - I)²)``.
+
+    Off-diagonal terms push distinct bits toward decorrelation; diagonal
+    terms push per-bit second moments toward 1, complementing the
+    quantization loss.
+    """
+    _check_batch(codes, "codes")
+    batch, bits = codes.shape
+    gram = (codes.T @ codes) * (1.0 / batch)
+    eye = Tensor(np.eye(bits))
+    return ((gram - eye) ** 2).mean()
+
+
+def quantization_loss(codes: Tensor) -> Tensor:
+    """Push continuous codes toward ±1: ``mean((|h| - 1)²)``."""
+    _check_batch(codes, "codes")
+    return ((codes.abs() - 1.0) ** 2).mean()
+
+
+def milan_loss(anchors: Tensor, positives: Tensor, negatives: Tensor,
+               config: MiLaNConfig) -> tuple[Tensor, dict[str, float]]:
+    """The weighted MiLaN objective over one triplet batch.
+
+    Returns the scalar total plus a float breakdown (for logging and the
+    E10 ablation bench).  Loss terms with zero weight are skipped entirely,
+    so ablations genuinely remove the computation.
+    """
+    total: "Tensor | None" = None
+    breakdown: dict[str, float] = {}
+
+    def accumulate(term: Tensor, weight: float, name: str) -> None:
+        nonlocal total
+        breakdown[name] = term.item()
+        weighted = term * weight
+        total = weighted if total is None else total + weighted
+
+    if config.weight_triplet > 0:
+        accumulate(triplet_loss(anchors, positives, negatives, config.triplet_margin),
+                   config.weight_triplet, "triplet")
+    stacked = _vertical_concat(anchors, positives, negatives)
+    if config.weight_bit_balance > 0:
+        accumulate(bit_balance_loss(stacked), config.weight_bit_balance, "bit_balance")
+    if config.weight_independence > 0:
+        accumulate(independence_loss(stacked), config.weight_independence, "independence")
+    if config.weight_quantization > 0:
+        accumulate(quantization_loss(stacked), config.weight_quantization, "quantization")
+    if total is None:
+        # All weights zero: a constant zero with a graph-compatible type.
+        total = (anchors * 0.0).sum()
+        breakdown["zero"] = 0.0
+    breakdown["total"] = total.item()
+    return total, breakdown
+
+
+def _vertical_concat(*tensors: Tensor) -> Tensor:
+    """Concatenate (B, K) tensors along the batch axis, keeping gradients."""
+    from ..nn.tensor import stack_tensors
+    stacked = stack_tensors(tensors)          # (T, B, K)
+    t, b, k = stacked.shape
+    return stacked.reshape(t * b, k)

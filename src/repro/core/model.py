@@ -1,0 +1,68 @@
+"""The MiLaN hashing network: an MLP ending in a tanh code layer.
+
+The GRSL MiLaN hashes *pre-extracted deep features* through fully connected
+layers whose final activation is tanh, so the continuous codes live in
+``(-1, 1)`` and sign-binarization is a small perturbation once the
+quantization loss has done its work.  Hidden layers use ReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MiLaNConfig
+from ..errors import ValidationError
+from ..nn.layers import Dropout, Linear, Module, ReLU, Sequential, Tanh
+from ..nn.tensor import Tensor, no_grad
+from ..utils.rng import as_rng, spawn_rng
+
+
+class MiLaNNetwork(Module):
+    """feature vector -> continuous code in ``(-1, 1)^num_bits``."""
+
+    def __init__(self, feature_dim: int, config: "MiLaNConfig | None" = None,
+                 rng: "np.random.Generator | int | None" = None) -> None:
+        super().__init__()
+        if feature_dim <= 0:
+            raise ValidationError(f"feature_dim must be positive, got {feature_dim}")
+        self.config = config or MiLaNConfig()
+        self.feature_dim = feature_dim
+        rng = as_rng(rng)
+        layer_rngs = spawn_rng(rng, len(self.config.hidden_sizes) + 1)
+
+        layers: list[Module] = []
+        in_dim = feature_dim
+        for i, hidden in enumerate(self.config.hidden_sizes):
+            layers.append(Linear(in_dim, hidden, activation_hint="relu", rng=layer_rngs[i]))
+            layers.append(ReLU())
+            if self.config.dropout > 0:
+                layers.append(Dropout(self.config.dropout, rng=layer_rngs[i]))
+            in_dim = hidden
+        layers.append(Linear(in_dim, self.config.num_bits, activation_hint="tanh",
+                             rng=layer_rngs[-1]))
+        layers.append(Tanh())
+        self.net = Sequential(*layers)
+
+    @property
+    def num_bits(self) -> int:
+        """Length of the produced codes."""
+        return self.config.num_bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Inference helper: ``(N, F)`` or ``(F,)`` features -> continuous
+        codes as a plain ndarray (no graph, eval mode)."""
+        features = np.asarray(features, dtype=np.float64)
+        squeeze = features.ndim == 1
+        if squeeze:
+            features = features[None, :]
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                codes = self.net(Tensor(features)).numpy()
+        finally:
+            self.train(was_training)
+        return codes[0] if squeeze else codes

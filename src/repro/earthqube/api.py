@@ -1,0 +1,170 @@
+"""JSON-level request API: the back-end server's wire format.
+
+"The back-end server provides the means to submit geospatial queries,
+filter the images based on different search criteria, and perform CBIR.
+To this end, EarthQube invokes different services that validate and process
+the user query" (paper, Section 3.2).
+
+:class:`EarthQubeAPI` is that validation/processing layer: it accepts plain
+``dict`` requests (what an HTTP handler would deserialize), validates every
+field into typed query objects, dispatches to the system services, and
+returns plain JSON-compatible ``dict`` responses.  All validation failures
+surface as structured error responses instead of exceptions, mirroring a
+well-behaved HTTP 400.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..errors import ReproError, ValidationError
+from ..geo.bbox import BoundingBox
+from ..geo.shapes import Circle, Polygon, Rectangle, Shape
+from .label_filter import LabelOperator
+from .query import QuerySpec
+from .server import EarthQube
+
+_OPERATORS = {op.value: op for op in LabelOperator}
+
+
+def _parse_shape(payload: "Mapping[str, Any] | None") -> "Shape | None":
+    """Parse the query panel's shape payload.
+
+    Formats (mirroring the coordinates subsection / drawn shapes):
+      {"type": "rectangle", "west": .., "south": .., "east": .., "north": ..}
+      {"type": "circle", "lon": .., "lat": .., "radius_km": ..}
+      {"type": "polygon", "coordinates": [[lon, lat], ...]}
+    """
+    if payload is None:
+        return None
+    if not isinstance(payload, Mapping):
+        raise ValidationError("shape must be an object")
+    kind = payload.get("type")
+    if kind == "rectangle":
+        try:
+            return Rectangle(BoundingBox(
+                west=float(payload["west"]), south=float(payload["south"]),
+                east=float(payload["east"]), north=float(payload["north"])))
+        except KeyError as missing:
+            raise ValidationError(f"rectangle shape is missing {missing}") from None
+    if kind == "circle":
+        try:
+            return Circle(lon=float(payload["lon"]), lat=float(payload["lat"]),
+                          radius_km=float(payload["radius_km"]))
+        except KeyError as missing:
+            raise ValidationError(f"circle shape is missing {missing}") from None
+    if kind == "polygon":
+        coords = payload.get("coordinates")
+        if not isinstance(coords, (list, tuple)):
+            raise ValidationError("polygon shape needs a coordinates list")
+        return Polygon.from_coords(coords)
+    raise ValidationError(
+        f"unknown shape type {kind!r}; expected rectangle, circle, or polygon")
+
+
+def parse_query_request(payload: Mapping[str, Any]) -> QuerySpec:
+    """Validate a raw search request into a :class:`QuerySpec`."""
+    if not isinstance(payload, Mapping):
+        raise ValidationError("request body must be an object")
+    unknown = set(payload) - {"shape", "date_from", "date_to", "seasons",
+                              "satellites", "labels", "label_operator",
+                              "limit", "skip"}
+    if unknown:
+        raise ValidationError(f"unknown request fields: {sorted(unknown)}")
+    operator_name = payload.get("label_operator", "some")
+    operator = _OPERATORS.get(operator_name)
+    if operator is None:
+        raise ValidationError(
+            f"unknown label_operator {operator_name!r}; "
+            f"expected one of {sorted(_OPERATORS)}")
+    labels = payload.get("labels")
+    return QuerySpec(
+        shape=_parse_shape(payload.get("shape")),
+        date_from=payload.get("date_from"),
+        date_to=payload.get("date_to"),
+        seasons=tuple(payload["seasons"]) if payload.get("seasons") else None,
+        satellites=tuple(payload["satellites"]) if payload.get("satellites") else None,
+        labels=tuple(labels) if labels else None,
+        label_operator=operator,
+        limit=payload.get("limit"),
+        skip=payload.get("skip", 0),
+    )
+
+
+class EarthQubeAPI:
+    """Dict-in/dict-out facade over a bootstrapped :class:`EarthQube`."""
+
+    def __init__(self, system: EarthQube) -> None:
+        self.system = system
+
+    @staticmethod
+    def _error(exc: Exception) -> dict:
+        return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+
+    def search(self, request: Mapping[str, Any]) -> dict:
+        """POST /search — query-panel search."""
+        try:
+            spec = parse_query_request(request)
+            response = self.system.search(spec)
+        except ReproError as exc:
+            return self._error(exc)
+        return {
+            "ok": True,
+            "total_matches": response.total_matches,
+            "plan": response.plan,
+            "names": response.names,
+            "documents": response.documents,
+        }
+
+    def similar(self, request: Mapping[str, Any]) -> dict:
+        """POST /similar — CBIR from an archive image name."""
+        try:
+            if not isinstance(request, Mapping) or "name" not in request:
+                raise ValidationError("similar request needs a 'name' field")
+            k = request.get("k", 10)
+            radius = request.get("radius")
+            if radius is not None:
+                result = self.system.similar_images(str(request["name"]),
+                                                    k=None, radius=int(radius))
+            else:
+                result = self.system.similar_images(str(request["name"]), k=int(k))
+        except ReproError as exc:
+            return self._error(exc)
+        return {
+            "ok": True,
+            "query": result.query_name,
+            "radius_used": result.radius_used,
+            "results": [{"name": str(r.item_id), "distance": r.distance}
+                        for r in result.results],
+        }
+
+    def statistics(self, request: Mapping[str, Any]) -> dict:
+        """POST /statistics — label statistics for a list of names."""
+        try:
+            names = request.get("names") if isinstance(request, Mapping) else None
+            if not isinstance(names, (list, tuple)) or not names:
+                raise ValidationError("statistics request needs a non-empty 'names' list")
+            stats = self.system.statistics_for(list(names))
+        except ReproError as exc:
+            return self._error(exc)
+        return {
+            "ok": True,
+            "total_images": stats.total_images,
+            "bars": [{"label": b.label, "count": b.count, "color": b.color}
+                     for b in stats],
+        }
+
+    def feedback(self, request: Mapping[str, Any]) -> dict:
+        """POST /feedback — store anonymous feedback."""
+        try:
+            if not isinstance(request, Mapping) or "text" not in request:
+                raise ValidationError("feedback request needs a 'text' field")
+            self.system.submit_feedback(str(request["text"]),
+                                        category=request.get("category", "comment"))
+        except ReproError as exc:
+            return self._error(exc)
+        return {"ok": True}
+
+    def describe(self) -> dict:
+        """GET /describe — system summary."""
+        return {"ok": True, **self.system.describe()}

@@ -1,0 +1,78 @@
+"""The download cart.
+
+"[Users can] add the current page range of images (up to 50) to the download
+cart.  The cart allows users to combine images from different searches and
+download them together as a single collection" (paper, Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import CartError
+
+
+class DownloadCart:
+    """Accumulates patch names across searches; order-preserving, de-duped."""
+
+    def __init__(self, page_limit: int = 50) -> None:
+        if page_limit <= 0:
+            raise CartError(f"page_limit must be positive, got {page_limit}")
+        self.page_limit = page_limit
+        self._names: list[str] = []
+        self._seen: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._seen
+
+    @property
+    def names(self) -> list[str]:
+        """Cart contents in insertion order."""
+        return list(self._names)
+
+    def add(self, name: str) -> bool:
+        """Add a single image; returns False when already present."""
+        if not name:
+            raise CartError("cannot add an empty image name")
+        if name in self._seen:
+            return False
+        self._seen.add(name)
+        self._names.append(name)
+        return True
+
+    def add_page(self, names: Iterable[str]) -> int:
+        """Add one result-page of names (at most ``page_limit``).
+
+        Returns the number actually added (duplicates are skipped).
+        Raises :class:`CartError` when the page exceeds the limit — the UI
+        never offers more than 50 at once.
+        """
+        page = list(names)
+        if len(page) > self.page_limit:
+            raise CartError(
+                f"page of {len(page)} images exceeds the cart page limit "
+                f"of {self.page_limit}")
+        return sum(1 for name in page if self.add(name))
+
+    def remove(self, name: str) -> bool:
+        """Remove one image; returns False when it was not in the cart."""
+        if name not in self._seen:
+            return False
+        self._seen.discard(name)
+        self._names.remove(name)
+        return True
+
+    def clear(self) -> None:
+        """Empty the cart."""
+        self._names.clear()
+        self._seen.clear()
+
+    def download(self) -> list[str]:
+        """Finalize the collection: returns the names and empties the cart,
+        mirroring the UI's single-collection download."""
+        collection = list(self._names)
+        self.clear()
+        return collection

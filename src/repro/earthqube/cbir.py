@@ -1,0 +1,158 @@
+"""Content-based image retrieval: the MiLaN integration (paper, Section 3.3).
+
+"To perform a similarity search based on an archive image, we maintain an
+in-memory hash table that maps each image patch name to the corresponding
+binary code.  For queries based on an external image, the deep learning
+model produces a binary code for the query on-the-fly.  Given the binary
+code of the query image, EarthQube retrieves all images with binary codes
+within a small hamming radius."
+
+:class:`CBIRService` implements exactly that: a name -> packed-code map for
+archive queries, on-the-fly feature extraction + hashing for new images, and
+a Hamming index (MIH by default) for the radius/kNN search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..bigearthnet.patch import Patch
+from ..config import IndexConfig
+from ..core.hasher import MiLaNHasher
+from ..errors import UnknownPatchError, ValidationError
+from ..features.extractor import FeatureExtractor
+from ..index.mih import MultiIndexHashing
+from ..index.results import SearchResult
+
+
+@dataclass
+class SimilarityResponse:
+    """A ranked CBIR result: neighbor names with Hamming distances."""
+
+    query_name: "str | None"
+    results: list[SearchResult]
+    radius_used: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def names(self) -> list[str]:
+        """Neighbor patch names, nearest first."""
+        return [str(r.item_id) for r in self.results]
+
+    def excluding_query(self) -> "SimilarityResponse":
+        """Drop the query itself from the ranking (self-match at distance 0)."""
+        if self.query_name is None:
+            return self
+        filtered = [r for r in self.results if r.item_id != self.query_name]
+        return SimilarityResponse(self.query_name, filtered, self.radius_used)
+
+
+class CBIRService:
+    """MiLaN-backed similarity search over an indexed archive."""
+
+    def __init__(self, hasher: MiLaNHasher, extractor: FeatureExtractor,
+                 config: "IndexConfig | None" = None) -> None:
+        if not hasher.is_fitted:
+            raise ValidationError("CBIRService requires a fitted MiLaNHasher")
+        self.hasher = hasher
+        self.extractor = extractor
+        self.config = config or IndexConfig()
+        self._index = MultiIndexHashing(hasher.num_bits, self.config.mih_tables)
+        # The paper's in-memory hash table: patch name -> packed binary code.
+        self._code_by_name: dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._code_by_name)
+
+    def build(self, names: Sequence[str], features: np.ndarray) -> None:
+        """Hash archive features and build the retrieval index."""
+        if len(names) != len(set(names)):
+            raise ValidationError("archive names must be unique")
+        codes = self.hasher.hash_packed(features)
+        if codes.shape[0] != len(names):
+            raise ValidationError(
+                f"features rows ({codes.shape[0]}) must match names ({len(names)})")
+        self._code_by_name = {name: codes[i] for i, name in enumerate(names)}
+        self._index.build(list(names), codes)
+
+    def code_of(self, name: str) -> np.ndarray:
+        """The stored packed code of an archive image."""
+        try:
+            return self._code_by_name[name]
+        except KeyError:
+            raise UnknownPatchError(f"no indexed image named {name!r}") from None
+
+    def add_image(self, name: str, features: np.ndarray) -> np.ndarray:
+        """Online ingestion: hash and index one new image.
+
+        Returns the packed code.  The image becomes retrievable immediately
+        (the MIH substring tables are updated in place) — the extension the
+        paper's query-by-new-example scenario motivates: newly acquired
+        Sentinel images flow into the index without a rebuild.
+        """
+        if name in self._code_by_name:
+            raise ValidationError(f"image {name!r} is already indexed")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 1:
+            raise ValidationError(f"features must be 1D, got shape {features.shape}")
+        code = self.hasher.hash_packed(features[None, :])[0]
+        self._code_by_name[name] = code
+        self._index.add(name, code)
+        return code
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query_by_name(self, name: str, *, k: "int | None" = 10,
+                      radius: "int | None" = None) -> SimilarityResponse:
+        """Query-by-existing-example: similarity search from an archive image.
+
+        Either ``k`` (nearest neighbors, radius grown as needed) or an
+        explicit Hamming ``radius``.
+        """
+        code = self.code_of(name)
+        # Request one extra result: the query matches itself at distance 0
+        # and is dropped from the response.
+        results, used = self._run(code, k=None if k is None else k + 1,
+                                  radius=radius)
+        response = SimilarityResponse(name, results, used).excluding_query()
+        if k is not None and len(response.results) > k:
+            response.results = response.results[:k]
+        return response
+
+    def query_by_patch(self, patch: Patch, *, k: "int | None" = 10,
+                       radius: "int | None" = None) -> SimilarityResponse:
+        """Query-by-new-example: hash an external image on the fly."""
+        features = self.extractor.extract(patch)
+        return self.query_by_features(features, k=k, radius=radius)
+
+    def query_by_features(self, features: np.ndarray, *, k: "int | None" = 10,
+                          radius: "int | None" = None) -> SimilarityResponse:
+        """Similarity search from a raw feature vector."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 1:
+            raise ValidationError(f"query features must be 1D, got shape {features.shape}")
+        code = self.hasher.hash_packed(features[None, :])[0]
+        results, used = self._run(code, k=k, radius=radius)
+        return SimilarityResponse(None, results, used)
+
+    def _run(self, code: np.ndarray, *, k: "int | None",
+             radius: "int | None") -> tuple[list[SearchResult], int]:
+        if radius is not None:
+            if radius < 0:
+                raise ValidationError(f"radius must be >= 0, got {radius}")
+            return self._index.search_radius(code, radius), radius
+        if k is None or k <= 0:
+            raise ValidationError("provide k > 0 or an explicit radius")
+        results = self._index.search_knn(code, k)
+        max_distance = results[-1].distance if results else 0
+        return results, max_distance

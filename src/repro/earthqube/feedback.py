@@ -1,0 +1,51 @@
+"""Anonymous user feedback, stored in the ``feedback`` collection.
+
+"The collection feedback stores anonymous user-provided text feedback, such
+as public reactions and comments" (paper, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+from ..errors import ValidationError
+from ..store.database import Database, FEEDBACK
+
+_MAX_FEEDBACK_CHARS = 4000
+
+
+class FeedbackService:
+    """Validated writes/reads against the feedback collection."""
+
+    def __init__(self, db: Database) -> None:
+        self._collection = db[FEEDBACK]
+
+    def submit(self, text: str, *, category: str = "comment") -> int:
+        """Store one feedback entry; returns the document id.
+
+        Entries are anonymous by design: no user identifier is accepted or
+        stored, only the text, a category, and a UTC timestamp.
+        """
+        if not isinstance(text, str) or not text.strip():
+            raise ValidationError("feedback text must be a non-empty string")
+        if len(text) > _MAX_FEEDBACK_CHARS:
+            raise ValidationError(
+                f"feedback text exceeds {_MAX_FEEDBACK_CHARS} characters")
+        if category not in ("comment", "reaction", "bug"):
+            raise ValidationError(f"unknown feedback category {category!r}")
+        return self._collection.insert_one({
+            "text": text.strip(),
+            "category": category,
+            "submitted_at": datetime.now(timezone.utc).isoformat(),
+        })
+
+    def count(self) -> int:
+        """Number of stored feedback entries."""
+        return len(self._collection)
+
+    def recent(self, limit: int = 10) -> list[dict]:
+        """The most recent entries, newest first."""
+        if limit <= 0:
+            raise ValidationError(f"limit must be positive, got {limit}")
+        return self._collection.find(
+            {}, sort="submitted_at", descending=True, limit=limit).documents

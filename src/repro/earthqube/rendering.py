@@ -1,0 +1,47 @@
+"""RGB rendering: Sentinel-2 bands -> displayable uint8 images.
+
+"We acquire those images by combining the RGB bands" (paper, Section 3.2).
+True-color composites use B04/B03/B02 with a percentile contrast stretch —
+raw reflectances are dark and low-contrast, so linear min/max scaling wastes
+the dynamic range on outliers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bigearthnet.patch import Patch, RGB_BANDS
+from ..errors import ValidationError
+
+
+def percentile_stretch(band: np.ndarray, lower: float = 2.0,
+                       upper: float = 98.0) -> np.ndarray:
+    """Linearly stretch ``[p_lower, p_upper]`` to ``[0, 1]``, clipping tails."""
+    if not 0.0 <= lower < upper <= 100.0:
+        raise ValidationError(f"need 0 <= lower < upper <= 100, got {lower}, {upper}")
+    band = np.asarray(band, dtype=np.float64)
+    lo, hi = np.percentile(band, [lower, upper])
+    if hi - lo < 1e-12:
+        return np.zeros_like(band)
+    return np.clip((band - lo) / (hi - lo), 0.0, 1.0)
+
+
+def render_rgb(patch: Patch, *, lower: float = 2.0, upper: float = 98.0) -> np.ndarray:
+    """``(H, W, 3)`` uint8 true-color rendering of a patch."""
+    channels = [percentile_stretch(patch.s2_bands[b], lower, upper) for b in RGB_BANDS]
+    stacked = np.stack(channels, axis=-1)
+    return (stacked * 255.0).round().astype(np.uint8)
+
+
+def render_false_color(patch: Patch, *, lower: float = 2.0,
+                       upper: float = 98.0) -> np.ndarray:
+    """``(H, W, 3)`` uint8 false-color (NIR/red/green) rendering.
+
+    The standard vegetation-emphasis composite; included because it is the
+    second view EO analysts reach for when inspecting retrieval results.
+    """
+    nir = percentile_stretch(patch.s2_bands["B08"], lower, upper)
+    red = percentile_stretch(patch.s2_bands["B04"], lower, upper)
+    green = percentile_stretch(patch.s2_bands["B03"], lower, upper)
+    stacked = np.stack([nir, red, green], axis=-1)
+    return (stacked * 255.0).round().astype(np.uint8)

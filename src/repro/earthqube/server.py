@@ -1,0 +1,242 @@
+"""The EarthQube system facade: all three tiers bootstrapped and wired.
+
+:meth:`EarthQube.bootstrap` stands up the whole demo system from one config:
+
+1. generate the synthetic archive (data substitute for BigEarthNet),
+2. create the MongoDB-style database with the paper's four collections and
+   indexes, and ingest the archive,
+3. extract features, train MiLaN, hash the archive, build the Hamming index,
+4. expose the back-end services: :meth:`search`, :meth:`similar_images`,
+   :meth:`similar_to_new_image`, :meth:`statistics_for`, :meth:`render`,
+   :meth:`markers_for`, :meth:`new_cart`, :meth:`submit_feedback`.
+
+Every method returns plain data (documents, arrays, dataclasses) — exactly
+what the browser UI would render.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bigearthnet.archive import SyntheticArchive
+from ..bigearthnet.labels import LabelCharCodec
+from ..bigearthnet.patch import Patch
+from ..config import EarthQubeConfig
+from ..core.hasher import MiLaNHasher
+from ..errors import UnknownPatchError, ValidationError
+from ..features.extractor import FeatureExtractor
+from ..store.database import Database, METADATA, RENDERED_IMAGES
+from .cart import DownloadCart
+from .cbir import CBIRService, SimilarityResponse
+from .feedback import FeedbackService
+from .ingest import decode_rendered_document, ingest_archive
+from .markers import Marker, MarkerClusterer, markers_from_documents
+from .query import QuerySpec
+from .search import SearchResponse, SearchService
+from .statistics import LabelStatistics, label_statistics
+
+
+class EarthQube:
+    """The assembled system (data tier + back-end services)."""
+
+    def __init__(self, config: EarthQubeConfig, archive: SyntheticArchive,
+                 db: Database, codec: LabelCharCodec, extractor: FeatureExtractor,
+                 hasher: MiLaNHasher, cbir: CBIRService, features: np.ndarray) -> None:
+        self.config = config
+        self.archive = archive
+        self.db = db
+        self.codec = codec
+        self.extractor = extractor
+        self.hasher = hasher
+        self.cbir = cbir
+        self.features = features
+        self.search_service = SearchService(db, codec)
+        self.feedback_service = FeedbackService(db)
+
+    # ------------------------------------------------------------------ #
+    # Bootstrap
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def bootstrap(cls, config: "EarthQubeConfig | None" = None,
+                  *, store_images: bool = True, verbose: bool = False) -> "EarthQube":
+        """Build the full system from a config (see class docstring)."""
+        config = config or EarthQubeConfig()
+
+        def log(message: str) -> None:
+            if verbose:
+                print(f"[earthqube] {message}")
+
+        log(f"generating archive of {config.archive.num_patches} patches ...")
+        archive = SyntheticArchive.generate(config.archive)
+        codec = LabelCharCodec()
+
+        log("ingesting into the data tier ...")
+        db = Database.earthqube_schema(geo_precision=config.geo_index.precision)
+        ingest_archive(db, archive, codec,
+                       store_images=store_images, store_renders=store_images)
+
+        log("extracting features ...")
+        extractor = FeatureExtractor(config.features)
+        features = extractor.extract_many(archive.patches)
+
+        log("training MiLaN ...")
+        hasher = MiLaNHasher(config.milan, config.train)
+        hasher.fit(features, archive.label_matrix())
+
+        log("hashing archive and building the Hamming index ...")
+        cbir = CBIRService(hasher, extractor, config.index)
+        cbir.build(archive.names, features)
+        log("ready")
+        return cls(config, archive, db, codec, extractor, hasher, cbir, features)
+
+    # ------------------------------------------------------------------ #
+    # Query panel / result panel services
+    # ------------------------------------------------------------------ #
+
+    def search(self, spec: QuerySpec) -> SearchResponse:
+        """Execute a query-panel search."""
+        return self.search_service.search(spec)
+
+    def count(self, spec: QuerySpec) -> int:
+        """Total number of image patches matching the query criteria."""
+        return self.search_service.count(spec)
+
+    def similar_images(self, name: str, *, k: "int | None" = 10,
+                       radius: "int | None" = None) -> SimilarityResponse:
+        """CBIR from an archive image (the result panel's 'retrieve similar
+        images' button)."""
+        if radius is None and k is None:
+            radius = self.config.index.hamming_radius
+        return self.cbir.query_by_name(name, k=k, radius=radius)
+
+    def similar_to_new_image(self, patch: Patch, *, k: "int | None" = 10,
+                             radius: "int | None" = None) -> SimilarityResponse:
+        """CBIR from an uploaded image (query-by-new-example)."""
+        return self.cbir.query_by_patch(patch, k=k, radius=radius)
+
+    def documents_for(self, names: "list[str]") -> list[dict]:
+        """Metadata documents for a list of patch names (ranked order kept)."""
+        metadata = self.db[METADATA]
+        return [metadata.get(name) for name in names]
+
+    def statistics_for(self, documents_or_names) -> LabelStatistics:
+        """Label statistics for search results or a list of names."""
+        items = list(documents_or_names)
+        if items and isinstance(items[0], str):
+            items = self.documents_for(items)
+        return label_statistics(items)
+
+    def render(self, name: str) -> np.ndarray:
+        """The stored RGB rendering of a patch as an (H, W, 3) uint8 array."""
+        rendered = self.db[RENDERED_IMAGES]
+        try:
+            doc = rendered.get(name)
+        except Exception:
+            raise UnknownPatchError(f"no rendered image for {name!r}") from None
+        return decode_rendered_document(doc)
+
+    def render_many(self, names: "list[str]") -> dict[str, np.ndarray]:
+        """Render up to ``max_rendered_images`` results on the map."""
+        limit = self.config.max_rendered_images
+        if len(names) > limit:
+            names = names[:limit]
+        return {name: self.render(name) for name in names}
+
+    def markers_for(self, response: "SearchResponse | list[dict]",
+                    zoom: "int | None" = None):
+        """Markers (or cluster groups at a zoom level) for search results."""
+        documents = response.documents if isinstance(response, SearchResponse) else response
+        markers = markers_from_documents(documents)
+        if zoom is None:
+            return markers
+        return MarkerClusterer(zoom).cluster(markers)
+
+    def new_cart(self) -> DownloadCart:
+        """A fresh download cart honoring the configured page limit."""
+        return DownloadCart(page_limit=self.config.cart_page_limit)
+
+    def submit_feedback(self, text: str, *, category: str = "comment") -> int:
+        """Store anonymous user feedback."""
+        return self.feedback_service.submit(text, category=category)
+
+    # ------------------------------------------------------------------ #
+    # Online ingestion (extension motivated by demo scenario 3)
+    # ------------------------------------------------------------------ #
+
+    def auto_label(self, patch: Patch, *, k: int = 10,
+                   min_votes: "int | None" = None) -> list[str]:
+        """Predict CLC labels for an unlabeled image by neighbour voting.
+
+        The "automatic labeling process" the paper sketches: retrieve the
+        ``k`` most similar archive images and keep every label that occurs
+        in at least ``min_votes`` of them (default: half).
+        """
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        similar = self.cbir.query_by_patch(patch, k=k)
+        documents = self.documents_for(similar.names)
+        if not documents:
+            return []
+        threshold = min_votes if min_votes is not None else max(1, len(documents) // 2)
+        from .statistics import label_statistics
+        stats = label_statistics(documents)
+        return [bar.label for bar in stats if bar.count >= threshold]
+
+    def ingest_new_patch(self, patch: Patch, *, auto_label_if_missing: bool = True,
+                         k: int = 10) -> dict:
+        """Add a newly acquired image to the live system.
+
+        Inserts the metadata/image/rendered documents, hashes the image, and
+        updates the Hamming index in place — no rebuild.  When the patch
+        carries no trusted labels and ``auto_label_if_missing`` is set, the
+        neighbour-voting annotator supplies them first.
+
+        Returns a summary dict (name, labels used, whether they were
+        auto-assigned).
+        """
+        if patch.name in self.archive:
+            raise ValidationError(f"patch {patch.name!r} already exists in the archive")
+        auto_labeled = False
+        labels = patch.labels
+        if auto_label_if_missing:
+            predicted = self.auto_label(patch, k=k)
+            if predicted:
+                labels = tuple(predicted)
+                auto_labeled = True
+        stored = Patch(
+            name=patch.name, labels=labels, country=patch.country,
+            bbox=patch.bbox, acquisition_date=patch.acquisition_date,
+            season=patch.season, s2_bands=patch.s2_bands,
+            s1_bands=patch.s1_bands)
+
+        from .ingest import image_data_document, metadata_document, rendered_image_document
+        self.db[METADATA].insert_one(metadata_document(stored, self.codec))
+        if RENDERED_IMAGES in self.db and len(self.db[RENDERED_IMAGES]) > 0:
+            self.db["image_data"].insert_one(image_data_document(stored))
+            self.db[RENDERED_IMAGES].insert_one(rendered_image_document(stored))
+
+        features = self.extractor.extract(stored)
+        self.cbir.add_image(stored.name, features)
+        self.features = np.vstack([self.features, features[None, :]])
+        self.archive.patches.append(stored)
+        self.archive._by_name[stored.name] = stored
+        self.archive._index_by_name[stored.name] = len(self.archive.patches) - 1
+        return {"name": stored.name, "labels": list(labels),
+                "auto_labeled": auto_labeled}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict:
+        """System summary (sizes, code length, index settings)."""
+        return {
+            "archive_patches": len(self.archive),
+            "feature_dimension": self.extractor.dimension,
+            "code_bits": self.hasher.num_bits,
+            "hamming_radius": self.config.index.hamming_radius,
+            "mih_tables": self.config.index.mih_tables,
+            "collections": self.db.collection_names(),
+            "metadata_documents": len(self.db[METADATA]),
+        }

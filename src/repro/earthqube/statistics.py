@@ -1,0 +1,79 @@
+"""Label statistics: the data behind the result panel's bar chart.
+
+"The view Label statistics summarizes the occurrence of land cover labels in
+the retrieved images ... a bar chart that shows the number of occurrences of
+each label present in the retrieval.  To facilitate the identification of
+dominant land types ... we map each label to a predefined color" (paper,
+Section 3.1, Figure 2-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..bigearthnet.clc import get_nomenclature
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class LabelBar:
+    """One bar of the chart: label, occurrence count, display color."""
+
+    label: str
+    count: int
+    color: str
+
+
+@dataclass
+class LabelStatistics:
+    """The full bar chart, sorted by descending count."""
+
+    bars: list[LabelBar]
+    total_images: int
+
+    def __len__(self) -> int:
+        return len(self.bars)
+
+    def __iter__(self):
+        return iter(self.bars)
+
+    @property
+    def labels(self) -> list[str]:
+        return [bar.label for bar in self.bars]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {bar.label: bar.count for bar in self.bars}
+
+    def dominant(self, top: int = 3) -> list[str]:
+        """The ``top`` most frequent labels in the retrieval."""
+        if top <= 0:
+            raise ValidationError(f"top must be positive, got {top}")
+        return [bar.label for bar in self.bars[:top]]
+
+    def as_rows(self) -> list[tuple[str, int, str]]:
+        """``(label, count, color)`` rows, chart-ready."""
+        return [(bar.label, bar.count, bar.color) for bar in self.bars]
+
+
+def label_statistics(documents: Iterable[Mapping]) -> LabelStatistics:
+    """Aggregate label occurrences over metadata documents.
+
+    Accepts any iterable of metadata documents (as returned by the search
+    service); labels are read from ``properties.labels``.
+    """
+    nomenclature = get_nomenclature()
+    counts: dict[str, int] = {}
+    total = 0
+    for doc in documents:
+        total += 1
+        labels = doc.get("properties", {}).get("labels", [])
+        for label in labels:
+            counts[label] = counts.get(label, 0) + 1
+    bars = [
+        LabelBar(label=label, count=count, color=nomenclature.color_of(label))
+        for label, count in counts.items()
+    ]
+    bars.sort(key=lambda bar: (-bar.count, bar.label))
+    return LabelStatistics(bars=bars, total_images=total)

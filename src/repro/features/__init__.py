@@ -1,0 +1,30 @@
+"""Image feature extraction — the stand-in for MiLaN's CNN backbone.
+
+The original MiLaN [Roy et al., GRSL 2021] hashes deep features from a
+pre-trained CNN.  Offline and CPU-only, we substitute a deterministic
+hand-rolled featurizer (DESIGN.md §2): per-band statistics, spectral
+indices, texture energy, and histograms.  What matters for the reproduction
+is that label-similar patches land close in feature space — guaranteed here
+because the synthetic pixels are generated from class signatures the
+features directly measure.
+
+Public pieces:
+
+* :class:`FeatureExtractor` — patch -> float vector,
+* :class:`Standardizer` — per-dimension z-scoring fitted on a train split,
+* :class:`PCA` — dimensionality reduction (also used by the ITQ baseline).
+"""
+
+from .extractor import FeatureExtractor
+from .normalization import Standardizer
+from .pca import PCA
+from .spectral import ndbi, ndvi, ndwi
+
+__all__ = [
+    "FeatureExtractor",
+    "Standardizer",
+    "PCA",
+    "ndvi",
+    "ndwi",
+    "ndbi",
+]

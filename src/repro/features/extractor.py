@@ -1,0 +1,102 @@
+"""The patch -> feature-vector extractor.
+
+For each of the 12 Sentinel-2 bands: five moments (mean/std/p10/p50/p90).
+For the 10 m bands additionally gradient energy and local variance (texture).
+Spectral indices NDVI/NDWI/NDBI contribute five moments each, plus
+histograms of the RGB+NIR bands.  Sentinel-1, when present, adds moments of
+VV, VH, and the VH/VV ratio.  The resulting dimension is reported by
+:attr:`FeatureExtractor.dimension` and stays fixed for a given config, so
+feature matrices can be preallocated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bigearthnet.patch import Patch, S2_BANDS_10M, S2_BAND_NAMES
+from ..config import FeatureConfig
+from ..errors import ValidationError
+from .spectral import ndbi, ndvi, ndwi
+from .statistics import band_moments, gradient_energy, histogram_features, local_variance
+
+_MOMENTS = 5
+_HISTOGRAM_BANDS = ("B02", "B03", "B04", "B08")
+
+
+class FeatureExtractor:
+    """Deterministic patch featurizer (the CNN-backbone substitute)."""
+
+    def __init__(self, config: "FeatureConfig | None" = None) -> None:
+        self.config = config or FeatureConfig()
+        self._dimension = self._compute_dimension()
+
+    def _compute_dimension(self) -> int:
+        cfg = self.config
+        dim = len(S2_BAND_NAMES) * _MOMENTS           # per-band moments
+        if cfg.include_texture:
+            dim += len(S2_BANDS_10M) * 2              # gradient energy + local variance
+        if cfg.include_spectral_indices:
+            dim += 3 * _MOMENTS                       # NDVI, NDWI, NDBI moments
+        dim += len(_HISTOGRAM_BANDS) * cfg.histogram_bins
+        if cfg.include_s1:
+            dim += 3 * _MOMENTS                       # VV, VH, VH/VV ratio moments
+        return dim
+
+    @property
+    def dimension(self) -> int:
+        """Length of the vectors produced by :meth:`extract`."""
+        return self._dimension
+
+    def extract(self, patch: Patch) -> np.ndarray:
+        """Feature vector of one patch (float64, length :attr:`dimension`)."""
+        cfg = self.config
+        parts: list[np.ndarray] = []
+        for band_name in S2_BAND_NAMES:
+            parts.append(band_moments(patch.s2_bands[band_name]))
+        if cfg.include_texture:
+            for band_name in S2_BANDS_10M:
+                band = patch.s2_bands[band_name]
+                parts.append(np.array([gradient_energy(band), local_variance(band)]))
+        if cfg.include_spectral_indices:
+            nir = patch.s2_bands["B08"]
+            red = patch.s2_bands["B04"]
+            green = patch.s2_bands["B03"]
+            swir = _upsample_to(patch.s2_bands["B11"], nir.shape[0])
+            parts.append(band_moments(ndvi(nir, red)))
+            parts.append(band_moments(ndwi(green, nir)))
+            parts.append(band_moments(ndbi(swir, nir)))
+        for band_name in _HISTOGRAM_BANDS:
+            parts.append(histogram_features(patch.s2_bands[band_name], cfg.histogram_bins))
+        if cfg.include_s1:
+            if patch.has_s1:
+                vv, vh = patch.s1_bands["VV"], patch.s1_bands["VH"]
+                ratio = vh / (vv + 1e-6)
+                parts.append(band_moments(vv))
+                parts.append(band_moments(vh))
+                parts.append(band_moments(ratio))
+            else:
+                # Archives generated without S1 keep the dimension stable.
+                parts.append(np.zeros(3 * _MOMENTS))
+        vector = np.concatenate(parts)
+        if vector.shape[0] != self._dimension:
+            raise ValidationError(
+                f"feature dimension mismatch: produced {vector.shape[0]}, "
+                f"expected {self._dimension}")
+        return vector
+
+    def extract_many(self, patches: "list[Patch] | tuple[Patch, ...]") -> np.ndarray:
+        """``(N, dimension)`` feature matrix for a list of patches."""
+        if not patches:
+            raise ValidationError("extract_many needs at least one patch")
+        out = np.empty((len(patches), self._dimension), dtype=np.float64)
+        for row, patch in enumerate(patches):
+            out[row] = self.extract(patch)
+        return out
+
+
+def _upsample_to(band: np.ndarray, side: int) -> np.ndarray:
+    """Nearest-neighbor upsample of a square band to ``side`` pixels."""
+    factor = side // band.shape[0]
+    if factor <= 1:
+        return band
+    return np.repeat(np.repeat(band, factor, axis=0), factor, axis=1)

@@ -1,0 +1,54 @@
+"""Feature standardization (z-scoring) fitted on a training split."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ShapeError, ValidationError
+
+
+class Standardizer:
+    """Per-dimension ``(x - mean) / std`` transform.
+
+    Dimensions with (near-)zero variance are passed through centered but
+    unscaled, so constant features cannot blow up.  Fit on the training
+    split only; apply to everything — the usual leakage discipline.
+    """
+
+    def __init__(self, eps: float = 1e-9) -> None:
+        self.eps = eps
+        self.mean_: "np.ndarray | None" = None
+        self.scale_: "np.ndarray | None" = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, features: np.ndarray) -> "Standardizer":
+        """Estimate mean/std from an ``(N, F)`` matrix; returns self."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] < 1:
+            raise ValidationError(f"fit expects a non-empty (N, F) matrix, got {features.shape}")
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.scale_ = np.where(std > self.eps, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform to ``(N, F)`` or ``(F,)`` input."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("Standardizer.transform called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        squeeze = features.ndim == 1
+        if squeeze:
+            features = features[None, :]
+        if features.shape[1] != self.mean_.shape[0]:
+            raise ShapeError(
+                f"feature dimension {features.shape[1]} does not match "
+                f"fitted dimension {self.mean_.shape[0]}")
+        out = (features - self.mean_) / self.scale_
+        return out[0] if squeeze else out
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(features).transform(features)

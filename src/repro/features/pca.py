@@ -1,0 +1,64 @@
+"""Principal component analysis via SVD.
+
+Used in two places: optional feature compression ahead of MiLaN, and as the
+first stage of the ITQ hashing baseline (PCA to ``num_bits`` dimensions,
+then a learned rotation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ShapeError, ValidationError
+
+
+class PCA:
+    """Top-``k`` principal components of a centered feature matrix."""
+
+    def __init__(self, num_components: int) -> None:
+        if num_components <= 0:
+            raise ValidationError(f"num_components must be positive, got {num_components}")
+        self.num_components = num_components
+        self.mean_: "np.ndarray | None" = None
+        self.components_: "np.ndarray | None" = None   # (F, k)
+        self.explained_variance_: "np.ndarray | None" = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.components_ is not None
+
+    def fit(self, features: np.ndarray) -> "PCA":
+        """Fit on an ``(N, F)`` matrix; requires ``k <= min(N, F)``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValidationError(f"fit expects an (N, F) matrix, got {features.shape}")
+        n, f = features.shape
+        if self.num_components > min(n, f):
+            raise ValidationError(
+                f"num_components={self.num_components} exceeds min(N, F)="
+                f"{min(n, f)}")
+        self.mean_ = features.mean(axis=0)
+        centered = features - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[: self.num_components].T
+        self.explained_variance_ = (singular_values[: self.num_components] ** 2) / max(n - 1, 1)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Project ``(N, F)`` or ``(F,)`` input onto the top components."""
+        if self.mean_ is None or self.components_ is None:
+            raise NotFittedError("PCA.transform called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        squeeze = features.ndim == 1
+        if squeeze:
+            features = features[None, :]
+        if features.shape[1] != self.mean_.shape[0]:
+            raise ShapeError(
+                f"feature dimension {features.shape[1]} does not match "
+                f"fitted dimension {self.mean_.shape[0]}")
+        out = (features - self.mean_) @ self.components_
+        return out[0] if squeeze else out
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit and project in one call."""
+        return self.fit(features).transform(features)

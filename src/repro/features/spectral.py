@@ -1,0 +1,46 @@
+"""Normalized-difference spectral indices.
+
+These are the standard remote-sensing contrasts between Sentinel-2 bands;
+each maps a pair of band images to a per-pixel index in ``[-1, 1]``:
+
+* NDVI (vegetation): ``(NIR - red) / (NIR + red)`` — high over healthy
+  vegetation, near zero over soil, negative over water.
+* NDWI (water): ``(green - NIR) / (green + NIR)`` — positive over water.
+* NDBI (built-up): ``(SWIR - NIR) / (SWIR + NIR)`` — positive over urban
+  fabric and bare surfaces.
+
+They give the feature extractor the same class-discriminating axes a CNN
+would learn first on this imagery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+_EPS = 1e-9
+
+
+def normalized_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(a - b) / (a + b)`` with divide-by-zero protection."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ShapeError(f"band shapes differ: {a.shape} vs {b.shape}")
+    return (a - b) / (a + b + _EPS)
+
+
+def ndvi(nir: np.ndarray, red: np.ndarray) -> np.ndarray:
+    """Normalized Difference Vegetation Index (B08 vs B04)."""
+    return normalized_difference(nir, red)
+
+
+def ndwi(green: np.ndarray, nir: np.ndarray) -> np.ndarray:
+    """Normalized Difference Water Index (B03 vs B08)."""
+    return normalized_difference(green, nir)
+
+
+def ndbi(swir: np.ndarray, nir: np.ndarray) -> np.ndarray:
+    """Normalized Difference Built-up Index (B11 vs B08)."""
+    return normalized_difference(swir, nir)

@@ -1,0 +1,58 @@
+"""Per-band statistical descriptors: moments, quantiles, texture, histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError, ValidationError
+
+
+def band_moments(band: np.ndarray) -> np.ndarray:
+    """``[mean, std, p10, p50, p90]`` of one band image."""
+    band = np.asarray(band, dtype=np.float64)
+    if band.ndim != 2:
+        raise ShapeError(f"band must be 2D, got shape {band.shape}")
+    flat = band.ravel()
+    p10, p50, p90 = np.percentile(flat, [10.0, 50.0, 90.0])
+    return np.array([flat.mean(), flat.std(), p10, p50, p90])
+
+
+def gradient_energy(band: np.ndarray) -> float:
+    """Mean magnitude of the spatial gradient (texture roughness proxy)."""
+    band = np.asarray(band, dtype=np.float64)
+    if band.ndim != 2:
+        raise ShapeError(f"band must be 2D, got shape {band.shape}")
+    gy, gx = np.gradient(band)
+    return float(np.sqrt(gy ** 2 + gx ** 2).mean())
+
+
+def local_variance(band: np.ndarray, block: int = 8) -> float:
+    """Mean variance inside non-overlapping ``block``x``block`` tiles.
+
+    High when the patch mixes several land covers (heterogeneous regions),
+    low for homogeneous patches — complements the global std.
+    """
+    band = np.asarray(band, dtype=np.float64)
+    if band.ndim != 2:
+        raise ShapeError(f"band must be 2D, got shape {band.shape}")
+    if block < 1:
+        raise ValidationError(f"block must be >= 1, got {block}")
+    h, w = band.shape
+    h_fit, w_fit = (h // block) * block, (w // block) * block
+    if h_fit == 0 or w_fit == 0:
+        return float(band.var())
+    tiles = band[:h_fit, :w_fit].reshape(h_fit // block, block, w_fit // block, block)
+    return float(tiles.var(axis=(1, 3)).mean())
+
+
+def histogram_features(band: np.ndarray, bins: int = 8,
+                       value_range: tuple[float, float] = (0.0, 1.0)) -> np.ndarray:
+    """Density histogram of one band, normalized to sum to 1."""
+    band = np.asarray(band, dtype=np.float64)
+    if bins < 2:
+        raise ValidationError(f"bins must be >= 2, got {bins}")
+    counts, _ = np.histogram(band.ravel(), bins=bins, range=value_range)
+    total = counts.sum()
+    if total == 0:
+        return np.zeros(bins)
+    return counts / total

@@ -1,0 +1,137 @@
+"""Axis-aligned geographic bounding boxes.
+
+A :class:`BoundingBox` is the geometry EarthQube stores per image: the
+metadata collection's ``location`` attribute "represents the bounding
+rectangle of an image" (paper, Section 3.2).  Longitudes are degrees East in
+``[-180, 180]``, latitudes degrees North in ``[-90, 90]``.  Boxes never wrap
+the antimeridian — BigEarthNet covers Europe only, so this simplification is
+safe and is validated at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeoError
+
+
+@dataclass(frozen=True, order=True)
+class BoundingBox:
+    """Geographic axis-aligned rectangle ``[west, east] x [south, north]``."""
+
+    west: float
+    south: float
+    east: float
+    north: float
+
+    def __post_init__(self) -> None:
+        if not (-180.0 <= self.west <= self.east <= 180.0):
+            raise GeoError(
+                f"invalid longitudes: need -180 <= west <= east <= 180, "
+                f"got west={self.west}, east={self.east}")
+        if not (-90.0 <= self.south <= self.north <= 90.0):
+            raise GeoError(
+                f"invalid latitudes: need -90 <= south <= north <= 90, "
+                f"got south={self.south}, north={self.north}")
+
+    @classmethod
+    def from_center(cls, lon: float, lat: float, width_deg: float,
+                    height_deg: float) -> "BoundingBox":
+        """Build a box centered on ``(lon, lat)``, clamped to valid ranges."""
+        if width_deg < 0 or height_deg < 0:
+            raise GeoError(f"width/height must be non-negative, got {width_deg}, {height_deg}")
+        half_w, half_h = width_deg / 2.0, height_deg / 2.0
+        return cls(
+            west=max(-180.0, lon - half_w),
+            south=max(-90.0, lat - half_h),
+            east=min(180.0, lon + half_w),
+            north=min(90.0, lat + half_h),
+        )
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """``(lon, lat)`` midpoint of the box."""
+        return ((self.west + self.east) / 2.0, (self.south + self.north) / 2.0)
+
+    @property
+    def width(self) -> float:
+        """Longitudinal extent in degrees."""
+        return self.east - self.west
+
+    @property
+    def height(self) -> float:
+        """Latitudinal extent in degrees."""
+        return self.north - self.south
+
+    @property
+    def area_deg2(self) -> float:
+        """Area in square degrees (planar approximation)."""
+        return self.width * self.height
+
+    def contains_point(self, lon: float, lat: float) -> bool:
+        """True when ``(lon, lat)`` lies inside or on the boundary."""
+        return self.west <= lon <= self.east and self.south <= lat <= self.north
+
+    def contains_bbox(self, other: "BoundingBox") -> bool:
+        """True when ``other`` lies entirely within this box."""
+        return (self.west <= other.west and other.east <= self.east
+                and self.south <= other.south and other.north <= self.north)
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when the two boxes share at least a boundary point."""
+        return not (other.west > self.east or other.east < self.west
+                    or other.south > self.north or other.north < self.south)
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        """The overlapping box, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return BoundingBox(
+            west=max(self.west, other.west),
+            south=max(self.south, other.south),
+            east=min(self.east, other.east),
+            north=min(self.north, other.north),
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """The smallest box covering both inputs."""
+        return BoundingBox(
+            west=min(self.west, other.west),
+            south=min(self.south, other.south),
+            east=max(self.east, other.east),
+            north=max(self.north, other.north),
+        )
+
+    def expand(self, margin_deg: float) -> "BoundingBox":
+        """Grow the box by ``margin_deg`` on every side, clamped to bounds."""
+        if margin_deg < 0:
+            raise GeoError(f"margin must be non-negative, got {margin_deg}")
+        return BoundingBox(
+            west=max(-180.0, self.west - margin_deg),
+            south=max(-90.0, self.south - margin_deg),
+            east=min(180.0, self.east + margin_deg),
+            north=min(90.0, self.north + margin_deg),
+        )
+
+    def to_geojson(self) -> dict:
+        """GeoJSON Polygon ring for the box (closed, counter-clockwise)."""
+        ring = [
+            [self.west, self.south],
+            [self.east, self.south],
+            [self.east, self.north],
+            [self.west, self.north],
+            [self.west, self.south],
+        ]
+        return {"type": "Polygon", "coordinates": [ring]}
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """``(west, south, east, north)`` tuple, e.g. for storage."""
+        return (self.west, self.south, self.east, self.north)
+
+    @classmethod
+    def from_tuple(cls, values: "tuple[float, float, float, float] | list[float]") -> "BoundingBox":
+        """Inverse of :meth:`as_tuple`."""
+        if len(values) != 4:
+            raise GeoError(f"expected 4 values (west, south, east, north), got {len(values)}")
+        west, south, east, north = values
+        return cls(west=west, south=south, east=east, north=north)

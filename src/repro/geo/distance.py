@@ -1,0 +1,39 @@
+"""Great-circle distance on the WGS84 mean-radius sphere."""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import GeoError
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_km(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance in kilometres between two lon/lat points.
+
+    Uses the haversine formula on a sphere of mean Earth radius.  Accurate to
+    ~0.5% against the true ellipsoid, which is more than enough for the
+    circle-shaped query selections EarthQube supports.
+    """
+    for name, value, bound in (("lat1", lat1, 90.0), ("lat2", lat2, 90.0),
+                               ("lon1", lon1, 180.0), ("lon2", lon2, 180.0)):
+        if not -bound <= value <= bound:
+            raise GeoError(f"{name} out of range [-{bound}, {bound}]: {value}")
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlambda = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def km_per_degree_lat() -> float:
+    """Kilometres per degree of latitude (constant on the sphere)."""
+    return math.pi * EARTH_RADIUS_KM / 180.0
+
+
+def km_per_degree_lon(lat: float) -> float:
+    """Kilometres per degree of longitude at latitude ``lat``."""
+    if not -90.0 <= lat <= 90.0:
+        raise GeoError(f"lat out of range [-90, 90]: {lat}")
+    return km_per_degree_lat() * math.cos(math.radians(lat))

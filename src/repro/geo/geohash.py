@@ -1,0 +1,190 @@
+"""Geohash encoding, the substrate of the data tier's 2D index.
+
+EarthQube "indexes the location attribute using MongoDB's built-in 2D
+geohashing index" (paper, Section 3.2).  MongoDB's legacy 2D index interleaves
+longitude/latitude bits exactly like the public geohash scheme, so this module
+implements standard base-32 geohash:
+
+* :func:`encode` / :func:`decode` — point to hash string and back,
+* :func:`decode_bbox` — the cell covered by a hash prefix,
+* :func:`neighbors` — the 8 adjacent cells at the same precision,
+* :func:`cover_bbox` — the set of cells of a given precision intersecting a
+  query rectangle (used by :class:`repro.store.geoindex.GeoHashIndex` to turn
+  a ``$geoWithin`` query into prefix lookups).
+
+Precision reference (cell size at the equator): 4 chars ~ 39 km x 19.5 km,
+5 chars ~ 4.9 km x 4.9 km, 6 chars ~ 1.2 km x 0.61 km.
+"""
+
+from __future__ import annotations
+
+from .bbox import BoundingBox
+from ..errors import GeoError
+
+GEOHASH_ALPHABET = "0123456789bcdefghjkmnpqrstuvwxyz"
+_CHAR_TO_VALUE = {c: i for i, c in enumerate(GEOHASH_ALPHABET)}
+
+_MAX_PRECISION = 12
+
+
+def _check_point(lon: float, lat: float) -> None:
+    if not -180.0 <= lon <= 180.0:
+        raise GeoError(f"longitude out of range [-180, 180]: {lon}")
+    if not -90.0 <= lat <= 90.0:
+        raise GeoError(f"latitude out of range [-90, 90]: {lat}")
+
+
+def _check_precision(precision: int) -> None:
+    if not 1 <= precision <= _MAX_PRECISION:
+        raise GeoError(f"geohash precision must be in [1, {_MAX_PRECISION}], got {precision}")
+
+
+def encode(lon: float, lat: float, precision: int = 5) -> str:
+    """Encode a point into a geohash string of ``precision`` characters.
+
+    Bits alternate longitude-first (even bit positions refine longitude),
+    matching the canonical geohash definition.
+    """
+    _check_point(lon, lat)
+    _check_precision(precision)
+    lon_lo, lon_hi = -180.0, 180.0
+    lat_lo, lat_hi = -90.0, 90.0
+    chars: list[str] = []
+    bit = 0
+    value = 0
+    even = True  # even bits refine longitude
+    while len(chars) < precision:
+        if even:
+            mid = (lon_lo + lon_hi) / 2.0
+            if lon >= mid:
+                value = (value << 1) | 1
+                lon_lo = mid
+            else:
+                value <<= 1
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2.0
+            if lat >= mid:
+                value = (value << 1) | 1
+                lat_lo = mid
+            else:
+                value <<= 1
+                lat_hi = mid
+        even = not even
+        bit += 1
+        if bit == 5:
+            chars.append(GEOHASH_ALPHABET[value])
+            bit = 0
+            value = 0
+    return "".join(chars)
+
+
+def decode_bbox(geohash: str) -> BoundingBox:
+    """The bounding box of the cell identified by ``geohash``."""
+    if not geohash:
+        raise GeoError("geohash must be a non-empty string")
+    lon_lo, lon_hi = -180.0, 180.0
+    lat_lo, lat_hi = -90.0, 90.0
+    even = True
+    for char in geohash:
+        try:
+            value = _CHAR_TO_VALUE[char]
+        except KeyError:
+            raise GeoError(f"invalid geohash character {char!r} in {geohash!r}") from None
+        for shift in (4, 3, 2, 1, 0):
+            bit = (value >> shift) & 1
+            if even:
+                mid = (lon_lo + lon_hi) / 2.0
+                if bit:
+                    lon_lo = mid
+                else:
+                    lon_hi = mid
+            else:
+                mid = (lat_lo + lat_hi) / 2.0
+                if bit:
+                    lat_lo = mid
+                else:
+                    lat_hi = mid
+            even = not even
+    return BoundingBox(west=lon_lo, south=lat_lo, east=lon_hi, north=lat_hi)
+
+
+def decode(geohash: str) -> tuple[float, float]:
+    """Decode a geohash to the ``(lon, lat)`` center of its cell."""
+    return decode_bbox(geohash).center
+
+
+def cell_size(precision: int) -> tuple[float, float]:
+    """``(width_deg, height_deg)`` of a geohash cell at ``precision``."""
+    _check_precision(precision)
+    lon_bits = (5 * precision + 1) // 2
+    lat_bits = 5 * precision // 2
+    return 360.0 / (1 << lon_bits), 180.0 / (1 << lat_bits)
+
+
+def neighbors(geohash: str) -> dict[str, str]:
+    """The 8 neighboring cells, keyed by compass direction.
+
+    Neighbors are computed geometrically (offset the cell center by one cell
+    size and re-encode), which handles all base-32 edge cases uniformly.
+    Cells that would fall outside the valid lat range are omitted; longitude
+    wraps across the antimeridian.
+    """
+    box = decode_bbox(geohash)
+    lon, lat = box.center
+    width, height = box.width, box.height
+    precision = len(geohash)
+    out: dict[str, str] = {}
+    offsets = {
+        "n": (0.0, height), "s": (0.0, -height),
+        "e": (width, 0.0), "w": (-width, 0.0),
+        "ne": (width, height), "nw": (-width, height),
+        "se": (width, -height), "sw": (-width, -height),
+    }
+    for direction, (dlon, dlat) in offsets.items():
+        nlat = lat + dlat
+        if not -90.0 <= nlat <= 90.0:
+            continue  # off the pole: no neighbor in this direction
+        nlon = lon + dlon
+        if nlon > 180.0:
+            nlon -= 360.0
+        elif nlon < -180.0:
+            nlon += 360.0
+        out[direction] = encode(nlon, nlat, precision)
+    return out
+
+
+def cover_bbox(box: BoundingBox, precision: int, *, max_cells: int = 4096) -> list[str]:
+    """All geohash cells of ``precision`` that intersect ``box``.
+
+    Walks the cell grid row by row from the box's south-west corner.  Raises
+    :class:`GeoError` if the cover would exceed ``max_cells`` — the caller
+    (the geo index) then falls back to a coarser precision or a full scan
+    rather than materializing an enormous cover.
+    """
+    _check_precision(precision)
+    width, height = cell_size(precision)
+    cells: list[str] = []
+    seen: set[str] = set()
+    # Start from the center of the cell containing the SW corner and step by
+    # exactly one cell size; centers guarantee we never skip a row/column due
+    # to floating point on cell boundaries.
+    start = decode_bbox(encode(box.west, box.south, precision))
+    eps = 1e-12
+    lat = start.center[1]
+    # A cell with center c spans [c - size/2, c + size/2]; iterate columns/
+    # rows while the cell's low edge is still at or before the box edge.
+    while lat - height / 2.0 <= box.north + eps:
+        lon = start.center[0]
+        while lon - width / 2.0 <= box.east + eps:
+            cell = encode(min(180.0, max(-180.0, lon)), min(90.0, max(-90.0, lat)), precision)
+            if cell not in seen:
+                seen.add(cell)
+                cells.append(cell)
+                if len(cells) > max_cells:
+                    raise GeoError(
+                        f"bbox cover at precision {precision} exceeds {max_cells} cells; "
+                        f"use a coarser precision")
+            lon += width
+        lat += height
+    return cells

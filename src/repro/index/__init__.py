@@ -1,0 +1,40 @@
+"""Binary-code indexes: the retrieval layer behind EarthQube's CBIR.
+
+The paper stores hash codes "as keys in a hash table, thereby enabling
+real-time nearest neighbor search"; queries "retrieve all images in the hash
+buckets that are within a small hamming radius of the query image"
+(Sections 1 and 2.2).  This package implements that mechanism plus the
+infrastructure to benchmark it:
+
+* :mod:`repro.index.codes` — bit packing into uint64 words,
+* :mod:`repro.index.hamming` — popcount-based distance kernels,
+* :mod:`repro.index.hashtable` — exact bucket table with Hamming-radius
+  enumeration (the paper's structure),
+* :mod:`repro.index.mih` — Multi-Index Hashing (Norouzi & Fleet) for larger
+  radii on long codes,
+* :mod:`repro.index.linear_scan` — packed brute-force scan (baseline).
+"""
+
+from .codes import pack_bits, unpack_bits, codes_allclose
+from .hamming import (
+    hamming_distance,
+    hamming_distances_to_query,
+    pairwise_hamming,
+)
+from .hashtable import HashTableIndex
+from .linear_scan import LinearScanIndex
+from .mih import MultiIndexHashing
+from .results import SearchResult
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "codes_allclose",
+    "hamming_distance",
+    "hamming_distances_to_query",
+    "pairwise_hamming",
+    "HashTableIndex",
+    "MultiIndexHashing",
+    "LinearScanIndex",
+    "SearchResult",
+]

@@ -1,0 +1,91 @@
+"""Bit packing: ``{0,1}`` bit matrices <-> uint64 word matrices.
+
+Hamming arithmetic runs on packed codes (`np.bitwise_count` over XORed
+words).  Packing is little-endian within bytes and zero-pads the last word,
+so any bit count that is a multiple of 8 round-trips exactly; padding bits
+are zero in *both* operands of any XOR, hence never contribute to distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError, ValidationError
+
+WORD_BITS = 64
+_WORD_BYTES = WORD_BITS // 8
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(N, K)`` or ``(K,)`` bit matrix into uint64 words.
+
+    Returns ``(N, ceil(K/64))`` (or ``(ceil(K/64),)`` for 1D input).
+    ``K`` must be a multiple of 8 (guaranteed by
+    :class:`repro.config.MiLaNConfig`).
+    """
+    bits = np.asarray(bits)
+    squeeze = bits.ndim == 1
+    if squeeze:
+        bits = bits[None, :]
+    if bits.ndim != 2:
+        raise ShapeError(f"bits must be 1D or 2D, got shape {bits.shape}")
+    num_bits = bits.shape[1]
+    if num_bits == 0 or num_bits % 8 != 0:
+        raise ValidationError(f"bit count must be a positive multiple of 8, got {num_bits}")
+    if not np.isin(bits, (0, 1)).all():
+        raise ValidationError("bits must contain only 0 and 1")
+    packed_bytes = np.packbits(bits.astype(np.uint8), axis=1, bitorder="little")
+    pad = (-packed_bytes.shape[1]) % _WORD_BYTES
+    if pad:
+        packed_bytes = np.pad(packed_bytes, ((0, 0), (0, pad)))
+    words = packed_bytes.view(np.uint64)
+    # Force little-endian interpretation for cross-platform determinism.
+    if words.dtype.byteorder == ">":
+        words = words.byteswap().view(words.dtype.newbyteorder("<"))
+    return words[0] if squeeze else words
+
+
+def unpack_bits(words: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: uint64 words -> ``(N, num_bits)`` bits."""
+    words = np.asarray(words, dtype=np.uint64)
+    squeeze = words.ndim == 1
+    if squeeze:
+        words = words[None, :]
+    if words.ndim != 2:
+        raise ShapeError(f"words must be 1D or 2D, got shape {words.shape}")
+    if num_bits <= 0 or num_bits > words.shape[1] * WORD_BITS:
+        raise ValidationError(
+            f"num_bits={num_bits} incompatible with {words.shape[1]} words")
+    as_bytes = words.view(np.uint8).reshape(words.shape[0], -1)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :num_bits]
+    return bits[0] if squeeze else bits
+
+
+def code_to_key(words: np.ndarray) -> bytes:
+    """A hashable dict key for one packed code (used by bucket tables)."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 1:
+        raise ShapeError(f"expected a single packed code, got shape {words.shape}")
+    return words.tobytes()
+
+
+def key_to_code(key: bytes) -> np.ndarray:
+    """Inverse of :func:`code_to_key`."""
+    if len(key) % _WORD_BYTES != 0:
+        raise ValidationError(f"key length {len(key)} is not a multiple of {_WORD_BYTES}")
+    return np.frombuffer(key, dtype=np.uint64).copy()
+
+
+def codes_allclose(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact equality of two packed code arrays (test helper)."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    return a.shape == b.shape and bool((a == b).all())
+
+
+def storage_bytes(num_items: int, num_bits: int) -> int:
+    """Bytes needed to store ``num_items`` packed codes (E7 accounting)."""
+    if num_items < 0 or num_bits <= 0:
+        raise ValidationError("num_items must be >= 0 and num_bits > 0")
+    words_per_item = -(-num_bits // WORD_BITS)  # ceil division
+    return num_items * words_per_item * _WORD_BYTES

@@ -1,0 +1,177 @@
+"""The paper's hash-table index with Hamming-radius bucket lookups.
+
+"We generate a hash table that stores all images with the same hash code in
+the same hash bucket.  Then, we perform image retrieval through hash
+lookups, i.e., we retrieve all images in the hash buckets that are within a
+small hamming radius of the query image" (paper, Section 2.2).
+
+Codes are stored under arbitrary-precision integer keys; a radius-``r``
+query enumerates every key within Hamming distance ``r`` of the query by
+XOR-ing single-bit masks (``sum_{i<=r} C(K, i)`` probes) and probes each
+bucket.  That is exact and fast for the paper's "small radius" regime
+(r <= 2 on 128 bits); for larger radii
+:class:`repro.index.mih.MultiIndexHashing` is the right tool, which
+experiment E8 demonstrates.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb as _binomial
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import EmptyIndexError, SearchError, ValidationError
+from .hamming import hamming_distance
+from .results import RadiusSearchStats, SearchResult
+
+_WORD_BYTES = 8
+
+
+def _code_to_int(code: np.ndarray) -> int:
+    """Packed uint64 words -> one arbitrary-precision integer key."""
+    words = np.ascontiguousarray(code, dtype=np.uint64)
+    if words.ndim != 1:
+        raise ValidationError(f"expected a single packed code, got shape {words.shape}")
+    return int.from_bytes(words.tobytes(), "little")
+
+
+def _int_to_code(key: int, num_words: int) -> np.ndarray:
+    """Inverse of :func:`_code_to_int`."""
+    return np.frombuffer(key.to_bytes(num_words * _WORD_BYTES, "little"),
+                         dtype=np.uint64).copy()
+
+
+class HashTableIndex:
+    """Exact bucket table: integer code key -> list of item ids."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits <= 0 or num_bits % 8 != 0:
+            raise ValidationError(f"num_bits must be a positive multiple of 8, got {num_bits}")
+        self.num_bits = num_bits
+        self.num_words = -(-num_bits // 64)
+        self._buckets: dict[int, list[Hashable]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of distinct codes present (bucket count)."""
+        return len(self._buckets)
+
+    def add(self, item_id: Hashable, code: np.ndarray) -> None:
+        """Insert one item under its packed code."""
+        self._buckets.setdefault(_code_to_int(code), []).append(item_id)
+        self._count += 1
+
+    def add_many(self, item_ids: Iterable[Hashable], codes: np.ndarray) -> None:
+        """Insert aligned ids and packed code rows."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        ids = list(item_ids)
+        if codes.ndim != 2 or len(ids) != codes.shape[0]:
+            raise ValidationError(
+                f"need (N, W) codes aligned with N ids, got {codes.shape} and {len(ids)} ids")
+        for item_id, code in zip(ids, codes):
+            self.add(item_id, code)
+
+    def bucket_of(self, code: np.ndarray) -> list[Hashable]:
+        """Items stored under exactly this code (radius 0)."""
+        return list(self._buckets.get(_code_to_int(code), ()))
+
+    # ------------------------------------------------------------------ #
+    # Radius search
+    # ------------------------------------------------------------------ #
+
+    def _enumerate_neighbor_keys(self, base: int, radius: int) -> Iterator[tuple[int, int]]:
+        """Yield (key, distance) for every code within ``radius`` of the
+        base key, nearest first.  Pure integer XOR — no array round-trips."""
+        yield base, 0
+        positions = range(self.num_bits)
+        for distance in range(1, radius + 1):
+            for flip in combinations(positions, distance):
+                key = base
+                for bit in flip:
+                    key ^= 1 << bit
+                yield key, distance
+
+    def search_radius(self, code: np.ndarray, radius: int,
+                      *, with_stats: bool = False,
+                      ) -> "list[SearchResult] | tuple[list[SearchResult], RadiusSearchStats]":
+        """All items within Hamming ``radius`` of ``code``, nearest first.
+
+        Cost grows combinatorially with the radius; radii above 3 on long
+        codes are rejected — use :class:`MultiIndexHashing` instead.
+        """
+        if radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        if self._count == 0:
+            raise EmptyIndexError("search on an empty HashTableIndex")
+        if radius > 3 and self.num_bits > 32:
+            raise SearchError(
+                f"bucket enumeration at radius {radius} on {self.num_bits}-bit codes "
+                f"is infeasible; use MultiIndexHashing")
+        stats = RadiusSearchStats(radius=radius)
+        results: list[SearchResult] = []
+        buckets = self._buckets
+        for key, distance in self._enumerate_neighbor_keys(_code_to_int(code), radius):
+            stats.buckets_probed += 1
+            bucket = buckets.get(key)
+            if bucket:
+                results.extend(SearchResult(item_id, distance) for item_id in bucket)
+        stats.candidates = len(results)
+        stats.results = len(results)
+        # Enumeration yields radii in order, so results are already sorted
+        # by distance; keep insertion order within equal distances.
+        if with_stats:
+            return results, stats
+        return results
+
+    def search_knn(self, code: np.ndarray, k: int,
+                   *, max_radius: "int | None" = None,
+                   max_probes: int = 100_000) -> list[SearchResult]:
+        """The ``k`` nearest items by growing the probe radius.
+
+        Grows the radius until at least ``k`` items are found (or
+        ``max_radius`` is hit), then truncates.  Because enumeration visits
+        radii in order, results are exact nearest neighbors within the
+        explored radius.
+
+        Bucket enumeration costs ``C(num_bits, r)`` probes at radius ``r``;
+        when growing one more radius would exceed ``max_probes`` total
+        probes before ``k`` items are found, the search raises
+        :class:`SearchError` instead of stalling — sparse/uniform code sets
+        should use :class:`~repro.index.mih.MultiIndexHashing` or a linear
+        scan for kNN.
+        """
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        if self._count == 0:
+            raise EmptyIndexError("search on an empty HashTableIndex")
+        limit = max_radius if max_radius is not None else self.num_bits
+        collected: list[SearchResult] = []
+        probes = 0
+        next_radius_cost = 1
+        for radius in range(limit + 1):
+            probes += next_radius_cost
+            if probes > max_probes:
+                raise SearchError(
+                    f"knn at radius {radius} needs {probes} bucket probes "
+                    f"(> {max_probes}); use MultiIndexHashing or LinearScanIndex")
+            collected = self.search_radius(code, radius)
+            if len(collected) >= k:
+                break
+            next_radius_cost = _binomial(self.num_bits, radius + 1)
+        return collected[:k]
+
+    def stored_codes(self) -> np.ndarray:
+        """All distinct packed codes in the table (for diagnostics)."""
+        if not self._buckets:
+            return np.empty((0, self.num_words), dtype=np.uint64)
+        return np.stack([_int_to_code(key, self.num_words) for key in self._buckets])
+
+    def verify_distance(self, code_a: np.ndarray, code_b: np.ndarray) -> int:
+        """Exact distance helper (exposed for tests/benches)."""
+        return hamming_distance(code_a, code_b)

@@ -1,0 +1,67 @@
+"""Packed-code linear scan: the brute-force baseline of experiment E6.
+
+Computes the distance from the query to *every* stored code with the
+popcount kernel, then selects.  O(N) per query but with a tiny constant —
+this is what FAISS's ``IndexBinaryFlat`` does — so it is the honest baseline
+for demonstrating when bucket lookups actually win.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..errors import EmptyIndexError, ValidationError
+from .hamming import hamming_distances_to_query, top_k_smallest
+from .results import SearchResult
+
+
+class LinearScanIndex:
+    """Flat array of packed codes scanned per query."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits <= 0 or num_bits % 8 != 0:
+            raise ValidationError(f"num_bits must be a positive multiple of 8, got {num_bits}")
+        self.num_bits = num_bits
+        self._codes: "np.ndarray | None" = None
+        self._ids: list[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def build(self, item_ids: Iterable[Hashable], codes: np.ndarray) -> None:
+        """(Re)build from aligned ids and (N, W) packed codes."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        ids = list(item_ids)
+        if codes.ndim != 2 or len(ids) != codes.shape[0]:
+            raise ValidationError(
+                f"need (N, W) codes aligned with N ids, got {codes.shape} and {len(ids)} ids")
+        self._codes = codes
+        self._ids = ids
+
+    def _require_built(self) -> np.ndarray:
+        if self._codes is None or not self._ids:
+            raise EmptyIndexError("search on an empty LinearScanIndex")
+        return self._codes
+
+    def search_radius(self, code: np.ndarray, radius: int) -> list[SearchResult]:
+        """All items within ``radius``, nearest first."""
+        if radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        codes = self._require_built()
+        distances = hamming_distances_to_query(codes, np.asarray(code, dtype=np.uint64))
+        within = np.flatnonzero(distances <= radius)
+        # Canonical (distance, insertion row) order, same as search_knn.
+        order = np.lexsort((within, distances[within]))
+        return [SearchResult(self._ids[int(row)], int(distances[row]))
+                for row in within[order]]
+
+    def search_knn(self, code: np.ndarray, k: int) -> list[SearchResult]:
+        """The exact ``k`` nearest items."""
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        codes = self._require_built()
+        distances = hamming_distances_to_query(codes, np.asarray(code, dtype=np.uint64))
+        rows = top_k_smallest(distances, k)
+        return [SearchResult(self._ids[int(row)], int(distances[row])) for row in rows]

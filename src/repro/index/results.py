@@ -1,0 +1,31 @@
+"""Common result types for the retrieval indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked retrieval result.
+
+    ``item_id`` is the caller's identifier (archive row index or patch
+    name), ``distance`` the Hamming distance to the query.
+    """
+
+    item_id: object
+    distance: int
+
+    def __lt__(self, other: "SearchResult") -> bool:
+        return (self.distance, repr(self.item_id)) < (other.distance, repr(other.item_id))
+
+
+@dataclass
+class RadiusSearchStats:
+    """Instrumentation of one radius search (experiment E8)."""
+
+    radius: int
+    buckets_probed: int = 0
+    candidates: int = 0
+    results: int = 0
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,22 @@
+"""Retrieval-quality and cost metrics for the experiment harness."""
+
+from .evaluation import EvaluationReport, RetrievalEvaluator
+from .retrieval import (
+    average_cumulative_gain,
+    mean_average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    weighted_average_precision,
+)
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "mean_average_precision",
+    "average_cumulative_gain",
+    "ndcg_at_k",
+    "weighted_average_precision",
+    "RetrievalEvaluator",
+    "EvaluationReport",
+]

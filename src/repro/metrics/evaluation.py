@@ -1,0 +1,135 @@
+"""The retrieval evaluation harness.
+
+:class:`RetrievalEvaluator` bundles the full metric battery used across the
+benchmarks: given database/query codes (or features) and multi-label ground
+truth, it runs kNN retrieval and reports binary metrics (precision@k,
+recall@k, mAP) and graded metrics (ACG, NDCG, WAP with Jaccard relevance),
+plus timing.  One evaluator definition keeps every experiment's numbers
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.similarity import jaccard_similarity_matrix, shares_label_matrix
+from ..errors import ValidationError
+from ..index.linear_scan import LinearScanIndex
+from ..utils.timing import Stopwatch
+from .retrieval import (
+    average_cumulative_gain,
+    mean_average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    weighted_average_precision,
+)
+
+
+@dataclass
+class EvaluationReport:
+    """All retrieval metrics of one evaluation run."""
+
+    k: int
+    num_queries: int
+    precision: float
+    recall: float
+    map_score: float
+    acg: float
+    ndcg: float
+    wap: float
+    mean_query_seconds: float
+    extras: dict = field(default_factory=dict)
+
+    def as_row(self) -> list:
+        """Values in a stable order for result tables."""
+        return [f"{self.precision:.3f}", f"{self.recall:.3f}",
+                f"{self.map_score:.3f}", f"{self.acg:.3f}",
+                f"{self.ndcg:.3f}", f"{self.wap:.3f}",
+                f"{self.mean_query_seconds * 1e3:.2f} ms"]
+
+    @staticmethod
+    def header() -> list[str]:
+        return ["P@k", "R@k", "mAP@k", "ACG@k", "NDCG@k", "WAP@k", "t/query"]
+
+
+class RetrievalEvaluator:
+    """Evaluates binary-code retrieval against label ground truth."""
+
+    def __init__(self, num_bits: int, *, k: int = 10,
+                 max_queries: int = 100) -> None:
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        if max_queries <= 0:
+            raise ValidationError(f"max_queries must be positive, got {max_queries}")
+        self.num_bits = num_bits
+        self.k = k
+        self.max_queries = max_queries
+
+    def _query_rows(self, num_queries: int) -> np.ndarray:
+        if num_queries <= self.max_queries:
+            return np.arange(num_queries)
+        step = num_queries / self.max_queries
+        return np.unique((np.arange(self.max_queries) * step).astype(int))
+
+    def evaluate(self, database_codes: np.ndarray, database_labels: np.ndarray,
+                 query_codes: "np.ndarray | None" = None,
+                 query_labels: "np.ndarray | None" = None) -> EvaluationReport:
+        """Run kNN retrieval and compute the full metric battery.
+
+        Without explicit queries, evaluates leave-one-out over the database
+        (self-matches excluded).  With ``query_codes``/``query_labels``,
+        evaluates a held-out query set against the database.
+        """
+        database_codes = np.asarray(database_codes, dtype=np.uint64)
+        self_query = query_codes is None
+        if self_query:
+            query_codes = database_codes
+            query_labels = database_labels
+        if query_labels is None:
+            raise ValidationError("query_codes given without query_labels")
+
+        index = LinearScanIndex(self.num_bits)
+        index.build(list(range(database_codes.shape[0])), database_codes)
+        binary = shares_label_matrix(query_labels, database_labels)
+        graded = jaccard_similarity_matrix(query_labels, database_labels)
+
+        rows = self._query_rows(query_codes.shape[0])
+        stopwatch = Stopwatch()
+        precisions, recalls, acgs, ndcgs, waps = [], [], [], [], []
+        ranked_binary: list[np.ndarray] = []
+        for q in rows:
+            with stopwatch:
+                results = index.search_knn(query_codes[q], self.k + (1 if self_query else 0))
+            if self_query:
+                results = [r for r in results if r.item_id != q][:self.k]
+            hit_rows = np.array([r.item_id for r in results], dtype=int)
+            rel_binary = binary[q, hit_rows].astype(float)
+            rel_graded = graded[q, hit_rows]
+            total_relevant = int(binary[q].sum()) - (1 if self_query else 0)
+            precisions.append(precision_at_k(rel_binary, self.k))
+            recalls.append(recall_at_k(rel_binary, self.k, max(total_relevant, 0)))
+            acgs.append(average_cumulative_gain(rel_graded, self.k))
+            ndcgs.append(ndcg_at_k(rel_graded, self.k))
+            waps.append(weighted_average_precision(rel_graded, self.k))
+            ranked_binary.append(rel_binary)
+
+        return EvaluationReport(
+            k=self.k,
+            num_queries=len(rows),
+            precision=float(np.mean(precisions)),
+            recall=float(np.mean(recalls)),
+            map_score=mean_average_precision(ranked_binary, k=self.k),
+            acg=float(np.mean(acgs)),
+            ndcg=float(np.mean(ndcgs)),
+            wap=float(np.mean(waps)),
+            mean_query_seconds=stopwatch.mean_seconds,
+        )
+
+    def random_baseline(self, database_labels: np.ndarray) -> float:
+        """Expected precision of random retrieval (the chance floor)."""
+        similar = shares_label_matrix(database_labels)
+        np.fill_diagonal(similar, False)
+        return float(similar.mean())

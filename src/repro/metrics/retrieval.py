@@ -1,0 +1,124 @@
+"""Retrieval metrics over ranked result lists.
+
+Two relevance regimes, matching the MiLaN evaluation conventions:
+
+* binary — a retrieved item is relevant iff it shares >= 1 label with the
+  query (:func:`precision_at_k`, :func:`recall_at_k`,
+  :func:`mean_average_precision`);
+* graded — relevance is the label-set overlap (e.g. Jaccard), rewarding
+  rankings that put *more-similar* items first
+  (:func:`average_cumulative_gain`, :func:`ndcg_at_k`,
+  :func:`weighted_average_precision`).
+
+All functions take a 1D relevance vector *already ordered by the ranking
+under evaluation* (index 0 = top-ranked item).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError, ValidationError
+
+
+def _check_ranked(relevances: np.ndarray) -> np.ndarray:
+    relevances = np.asarray(relevances, dtype=np.float64)
+    if relevances.ndim != 1:
+        raise ShapeError(f"relevances must be 1D (ranked), got shape {relevances.shape}")
+    return relevances
+
+
+def _check_k(k: int, n: int) -> int:
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    return min(k, n)
+
+
+def precision_at_k(ranked_relevances: np.ndarray, k: int) -> float:
+    """Fraction of the top-``k`` results that are relevant (> 0)."""
+    rel = _check_ranked(ranked_relevances)
+    k = _check_k(k, rel.shape[0])
+    if k == 0:
+        return 0.0
+    return float((rel[:k] > 0).mean())
+
+
+def recall_at_k(ranked_relevances: np.ndarray, k: int, total_relevant: int) -> float:
+    """Fraction of all relevant items retrieved in the top ``k``."""
+    rel = _check_ranked(ranked_relevances)
+    if total_relevant < 0:
+        raise ValidationError(f"total_relevant must be >= 0, got {total_relevant}")
+    if total_relevant == 0:
+        return 0.0
+    k = _check_k(k, rel.shape[0])
+    return float((rel[:k] > 0).sum() / total_relevant)
+
+
+def mean_average_precision(ranked_relevances_per_query: "list[np.ndarray]",
+                           k: "int | None" = None) -> float:
+    """mAP(@k) over queries.
+
+    Each entry is one query's ranked relevance vector; queries with no
+    relevant item in the evaluated prefix contribute zero (the conservative
+    convention).
+    """
+    if not ranked_relevances_per_query:
+        raise ValidationError("mean_average_precision needs at least one query")
+    scores = []
+    for rel in ranked_relevances_per_query:
+        rel = _check_ranked(rel)
+        if k is not None:
+            rel = rel[:_check_k(k, rel.shape[0])]
+        binary = rel > 0
+        hits = np.flatnonzero(binary)
+        if hits.size == 0:
+            scores.append(0.0)
+            continue
+        cumulative_hits = np.cumsum(binary)
+        precisions = cumulative_hits[hits] / (hits + 1)
+        scores.append(float(precisions.mean()))
+    return float(np.mean(scores))
+
+
+def average_cumulative_gain(ranked_relevances: np.ndarray, k: int) -> float:
+    """ACG@k: mean graded relevance of the top ``k`` results."""
+    rel = _check_ranked(ranked_relevances)
+    k = _check_k(k, rel.shape[0])
+    if k == 0:
+        return 0.0
+    return float(rel[:k].mean())
+
+
+def ndcg_at_k(ranked_relevances: np.ndarray, k: int) -> float:
+    """Normalized discounted cumulative gain at ``k`` with graded relevance.
+
+    DCG uses the ``rel / log2(rank + 1)`` form; the ideal ordering is the
+    relevance vector sorted descending.  Returns 0 when no item has positive
+    relevance.
+    """
+    rel = _check_ranked(ranked_relevances)
+    k = _check_k(k, rel.shape[0])
+    if k == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    dcg = float((rel[:k] * discounts).sum())
+    ideal = np.sort(rel)[::-1][:k]
+    idcg = float((ideal * discounts).sum())
+    if idcg <= 0:
+        return 0.0
+    return dcg / idcg
+
+
+def weighted_average_precision(ranked_relevances: np.ndarray, k: "int | None" = None) -> float:
+    """WAP: average precision where each hit's precision term is the mean
+    graded relevance of the prefix (the ACG-weighted AP of the MiLaN paper).
+    """
+    rel = _check_ranked(ranked_relevances)
+    if k is not None:
+        rel = rel[:_check_k(k, rel.shape[0])]
+    binary = rel > 0
+    hits = np.flatnonzero(binary)
+    if hits.size == 0:
+        return 0.0
+    acg_at_hits = np.cumsum(rel) / (np.arange(rel.shape[0]) + 1)
+    return float(acg_at_hits[hits].mean())

@@ -1,0 +1,38 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_rng
+
+
+def xavier_uniform(fan_in: int, fan_out: int,
+                   rng: "np.random.Generator | int | None" = None) -> np.ndarray:
+    """Glorot/Xavier uniform init for a ``(fan_in, fan_out)`` weight matrix.
+
+    Suited to tanh/sigmoid layers (MiLaN's hash layer is tanh).
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValidationError(f"fan_in/fan_out must be positive, got {fan_in}, {fan_out}")
+    rng = as_rng(rng)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(fan_in: int, fan_out: int,
+                    rng: "np.random.Generator | int | None" = None) -> np.ndarray:
+    """He/Kaiming uniform init, suited to ReLU hidden layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValidationError(f"fan_in/fan_out must be positive, got {fan_in}, {fan_out}")
+    rng = as_rng(rng)
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros_(shape: "int | tuple[int, ...]") -> np.ndarray:
+    """Zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)

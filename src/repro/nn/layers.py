@@ -1,0 +1,238 @@
+"""Neural-network layers over the autograd :class:`~repro.nn.tensor.Tensor`.
+
+:class:`Module` is the composition base: it tracks parameters and submodules
+by attribute assignment (like ``torch.nn.Module``), exposes
+``parameters()`` / ``state_dict()`` / ``load_state_dict()``, and a
+train/eval mode flag that :class:`Dropout` and :class:`BatchNorm1d` honor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ShapeError, ValidationError
+from ..utils.rng import as_rng
+from .init import kaiming_uniform, xavier_uniform, zeros_
+from .tensor import Tensor
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------ #
+
+    def parameters(self) -> Iterator[Tensor]:
+        """All trainable parameters, depth first."""
+        yield from self._parameters.values()
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set train/eval mode recursively; returns self for chaining."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode (affects Dropout/BatchNorm)."""
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Flat mapping of dotted names to parameter/buffer arrays (copies)."""
+        state: dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[prefix + name] = param.data.copy()
+        for name, buffer in self._buffers.items():
+            state[prefix + name] = np.array(buffer, copy=True)
+        for name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{name}."))
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        """Load arrays produced by :meth:`state_dict`; shapes must match."""
+        for name, param in self._parameters.items():
+            key = prefix + name
+            if key not in state:
+                raise ValidationError(f"state dict is missing parameter {key!r}")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ShapeError(
+                    f"parameter {key!r} has shape {value.shape}, "
+                    f"expected {param.data.shape}")
+            param.data = value.copy()
+        for name in self._buffers:
+            key = prefix + name
+            if key in state:
+                self._buffers[name] = np.array(state[key], copy=True)
+        for name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{name}.")
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 bias: bool = True, activation_hint: str = "relu",
+                 rng: "np.random.Generator | int | None" = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValidationError(
+                f"Linear sizes must be positive, got {in_features} -> {out_features}")
+        rng = as_rng(rng)
+        if activation_hint == "tanh":
+            weight = xavier_uniform(in_features, out_features, rng)
+        else:
+            weight = kaiming_uniform(in_features, out_features, rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(weight, requires_grad=True)
+        self.bias = Tensor(zeros_(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected input dim {self.in_features}, got {x.shape}")
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent (the MiLaN hash-layer activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5,
+                 rng: "np.random.Generator | int | None" = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValidationError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over feature columns of a ``(N, F)`` batch.
+
+    Keeps running statistics for eval mode, like the framework original.
+    """
+
+    def __init__(self, num_features: int, *, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValidationError(f"num_features must be positive, got {num_features}")
+        if not 0.0 < momentum <= 1.0:
+            raise ValidationError(f"momentum must be in (0, 1], got {momentum}")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Tensor(np.ones(num_features), requires_grad=True)
+        self.beta = Tensor(np.zeros(num_features), requires_grad=True)
+        self._buffers["running_mean"] = np.zeros(num_features)
+        self._buffers["running_var"] = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm1d expected (N, {self.num_features}), got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=0)
+            centered = x - mean
+            var = (centered ** 2).mean(axis=0)
+            m = self.momentum
+            self._buffers["running_mean"] = (
+                (1 - m) * self._buffers["running_mean"] + m * mean.data)
+            self._buffers["running_var"] = (
+                (1 - m) * self._buffers["running_var"] + m * var.data)
+            normalized = centered / (var + self.eps).sqrt()
+        else:
+            mean = Tensor(self._buffers["running_mean"])
+            var = Tensor(self._buffers["running_var"])
+            normalized = (x - mean) / (var + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        if not modules:
+            raise ValidationError("Sequential needs at least one module")
+        self.layers = list(modules)
+        for i, module in enumerate(modules):
+            self._modules[str(i)] = module
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.layers:
+            x = module(x)
+        return x

@@ -1,0 +1,97 @@
+"""Optimizers: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, parameters, lr: float, weight_decay: float = 0.0) -> None:
+        self.parameters: list[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValidationError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValidationError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValidationError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grad_of(self, param: Tensor) -> "np.ndarray | None":
+        grad = param.grad
+        if grad is None:
+            return None
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValidationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            grad = self._grad_of(param)
+            if grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValidationError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            grad = self._grad_of(param)
+            if grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

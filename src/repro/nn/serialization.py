@@ -1,0 +1,28 @@
+"""Model state persistence via ``npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import ModelError
+from .layers import Module
+
+
+def save_state_dict(module: Module, path: "str | os.PathLike") -> None:
+    """Write a module's :meth:`~repro.nn.layers.Module.state_dict` to ``path``
+    as a compressed ``npz`` archive."""
+    state = module.state_dict()
+    if not state:
+        raise ModelError("module has no parameters or buffers to save")
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(module: Module, path: "str | os.PathLike") -> None:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    if not os.path.exists(path):
+        raise ModelError(f"no saved state at {os.fspath(path)!r}")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,425 @@
+"""Reverse-mode autograd over numpy arrays.
+
+A :class:`Tensor` wraps an ``ndarray`` and records the operations applied to
+it; calling :meth:`Tensor.backward` on a scalar result propagates gradients
+to every tensor with ``requires_grad=True`` via a topological sweep of the
+recorded graph.  Broadcasting follows numpy semantics — gradients are
+summed back over broadcast dimensions by :func:`_unbroadcast`.
+
+The op set covers everything the MiLaN losses need: arithmetic, matmul,
+reductions, ReLU/Tanh/Sigmoid/abs/sqrt/exp/log, transpose/reshape, and
+``maximum`` against constants.  Gradient correctness is property-tested
+against central differences in ``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ShapeError, ValidationError
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling graph recording (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions numpy added.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: "Tensor | np.ndarray | float | int | list") -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """An ndarray with an optional gradient and a backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data: "np.ndarray | float | int | list",
+                 requires_grad: bool = False, *,
+                 _parents: "tuple[Tensor, ...]" = (), _op: str = "leaf") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.grad: "np.ndarray | None" = None
+        self._backward: "Callable[[np.ndarray], None] | None" = None
+        self._parents = _parents if _grad_enabled else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op!r}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (a view; do not mutate during training)."""
+        return self.data
+
+    def item(self) -> float:
+        """The scalar value of a 1-element tensor."""
+        if self.data.size != 1:
+            raise ShapeError(f"item() requires a 1-element tensor, got shape {self.shape}")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """A new leaf tensor sharing this tensor's data, cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helper
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: "tuple[Tensor, ...]", op: str,
+              backward: "Callable[[np.ndarray], None]") -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires,
+                     _parents=parents if requires else (), _op=op)
+        if requires:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other_t._accumulate(grad)
+
+        return Tensor._make(data, (self, other_t), "add", backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), "neg", backward)
+
+    def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        return self + (-(other if isinstance(other, Tensor) else Tensor(_as_array(other))))
+
+    def __rsub__(self, other: "float | np.ndarray") -> "Tensor":
+        return Tensor(_as_array(other)) + (-self)
+
+    def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other_t.data)
+            other_t._accumulate(grad * self.data)
+
+        return Tensor._make(data, (self, other_t), "mul", backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other_t.data)
+            other_t._accumulate(-grad * self.data / (other_t.data ** 2))
+
+        return Tensor._make(data, (self, other_t), "div", backward)
+
+    def __rtruediv__(self, other: "float | np.ndarray") -> "Tensor":
+        return Tensor(_as_array(other)) / self
+
+    def __pow__(self, exponent: "int | float") -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise ValidationError("Tensor ** only supports scalar exponents")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), "pow", backward)
+
+    def __matmul__(self, other: "Tensor | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        if self.ndim not in (1, 2) or other_t.ndim not in (1, 2):
+            raise ShapeError(
+                f"matmul supports 1D/2D operands, got {self.shape} @ {other_t.shape}")
+        data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other_t.data
+            if a.ndim == 2 and b.ndim == 2:
+                self._accumulate(grad @ b.T)
+                other_t._accumulate(a.T @ grad)
+            elif a.ndim == 1 and b.ndim == 2:
+                self._accumulate(grad @ b.T)
+                other_t._accumulate(np.outer(a, grad))
+            elif a.ndim == 2 and b.ndim == 1:
+                self._accumulate(np.outer(grad, b))
+                other_t._accumulate(a.T @ grad)
+            else:  # 1D @ 1D: scalar result
+                self._accumulate(grad * b)
+                other_t._accumulate(grad * a)
+
+        return Tensor._make(data, (self, other_t), "matmul", backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), "relu", backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - data ** 2))
+
+        return Tensor._make(data, (self,), "tanh", backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), "sigmoid", backward)
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), "exp", backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), "log", backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), "abs", backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
+
+        return Tensor._make(data, (self,), "sqrt", backward)
+
+    def maximum(self, constant: float) -> "Tensor":
+        """Elementwise ``max(x, constant)`` against a scalar constant."""
+        mask = self.data > constant
+        data = np.where(mask, self.data, constant)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), "maximum", backward)
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        """Elementwise clamp; gradient flows only inside ``(lo, hi)``."""
+        mask = (self.data > lo) & (self.data < hi)
+        data = np.clip(self.data, lo, hi)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), "clip", backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and reshaping
+    # ------------------------------------------------------------------ #
+
+    def sum(self, axis: "int | tuple[int, ...] | None" = None,
+            keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(data, (self,), "sum", backward)
+
+    def mean(self, axis: "int | tuple[int, ...] | None" = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return Tensor._make(data, (self,), "reshape", backward)
+
+    @property
+    def T(self) -> "Tensor":
+        data = self.data.T
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).T)
+
+        return Tensor._make(data, (self,), "transpose", backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        data = self.data[key]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        return Tensor._make(data, (self,), "getitem", backward)
+
+    # ------------------------------------------------------------------ #
+    # Backpropagation
+    # ------------------------------------------------------------------ #
+
+    def backward(self, grad: "np.ndarray | float | None" = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1.0 and must then be a scalar tensor; for
+        non-scalar outputs pass an explicit output gradient.
+        """
+        if not self.requires_grad:
+            raise ValidationError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise ShapeError(
+                    f"backward() without a gradient requires a scalar output, "
+                    f"got shape {self.shape}")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        order = _topological_order(self)
+        self._accumulate(grad)
+        for node in order:
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Nodes of the graph reachable from ``root`` in reverse topological
+    order (root first), iteratively to avoid recursion limits."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def stack_tensors(tensors: Iterable[Tensor]) -> Tensor:
+    """Stack 1D/2D tensors of identical shape along a new leading axis."""
+    tensor_list = list(tensors)
+    if not tensor_list:
+        raise ValidationError("cannot stack an empty tensor list")
+    data = np.stack([t.data for t in tensor_list])
+
+    def backward(grad: np.ndarray) -> None:
+        for i, t in enumerate(tensor_list):
+            t._accumulate(grad[i])
+
+    return Tensor._make(data, tuple(tensor_list), "stack", backward)

@@ -1,0 +1,29 @@
+"""In-memory document store standing in for EarthQube's MongoDB data tier.
+
+The paper's data tier (Section 3.2) is MongoDB holding four collections
+(metadata, image data, rendered images, feedback), with a 2D geohash index
+on the ``location`` attribute and an automatically indexed primary key.
+This package reproduces those mechanisms:
+
+* :class:`Database` / :class:`Collection` — named collections of dict
+  documents with insert/find/update/delete,
+* a Mongo-style query language (``$eq``, ``$in``, ``$all``, ``$and``,
+  ``$geoIntersects`` ...) evaluated by :mod:`repro.store.matcher`,
+* hash and unique indexes plus a geohash-backed 2D index
+  (:mod:`repro.store.indexes`), selected by a small query planner.
+"""
+
+from .collection import Collection, FindResult
+from .database import Database
+from .indexes import GeoHashIndex, HashIndex, UniqueIndex
+from .matcher import matches
+
+__all__ = [
+    "Database",
+    "Collection",
+    "FindResult",
+    "HashIndex",
+    "UniqueIndex",
+    "GeoHashIndex",
+    "matches",
+]

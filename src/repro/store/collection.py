@@ -1,0 +1,354 @@
+"""Document collections with index-aware query execution.
+
+A :class:`Collection` stores dict documents under integer doc ids, maintains
+secondary indexes, and answers Mongo-style ``find`` queries through a small
+planner:
+
+1. if the query pins an indexed field by equality/``$in``, start from that
+   index's bucket(s);
+2. else if the query has a geo constraint on a geo-indexed field, start from
+   the geohash cover candidates;
+3. otherwise scan the collection.
+
+Whatever the access path, every candidate is verified against the full query
+by :func:`repro.store.matcher.matches`, so plans never change results — only
+cost.  ``find`` reports which path it took in :class:`FindResult.plan`,
+which the data-tier benchmarks (experiment E11) use to confirm the geohash
+index is actually exercised.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..errors import DocumentNotFoundError, IndexError_, StoreError
+from .indexes import GeoHashIndex, HashIndex, UniqueIndex
+from .matcher import (
+    extract_all_values,
+    extract_equality,
+    extract_geo,
+    get_path,
+    is_missing,
+    matches,
+)
+
+
+@dataclass
+class FindResult:
+    """Result of :meth:`Collection.find`: matched documents plus plan info."""
+
+    documents: list[dict]
+    plan: str = "scan"
+    candidates_examined: int = 0
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.documents)
+
+    def __getitem__(self, i: int) -> dict:
+        return self.documents[i]
+
+
+class Collection:
+    """A named collection of documents with secondary indexes."""
+
+    def __init__(self, name: str, *, primary_key: "str | None" = None) -> None:
+        self.name = name
+        self.primary_key = primary_key
+        self._docs: dict[int, dict] = {}
+        self._next_id = 0
+        self._unique_indexes: dict[str, UniqueIndex] = {}
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._geo_indexes: dict[str, GeoHashIndex] = {}
+        if primary_key is not None:
+            self.create_unique_index(primary_key)
+
+    # ------------------------------------------------------------------ #
+    # Index management
+    # ------------------------------------------------------------------ #
+
+    def create_unique_index(self, field_path: str) -> None:
+        """Create a unique index; existing documents are indexed immediately."""
+        if field_path in self._unique_indexes:
+            return
+        index = UniqueIndex(field_path)
+        for doc_id, doc in self._docs.items():
+            index.add(doc_id, doc)
+        self._unique_indexes[field_path] = index
+
+    def create_index(self, field_path: str) -> None:
+        """Create a (multikey) hash index on ``field_path``."""
+        if field_path in self._hash_indexes:
+            return
+        index = HashIndex(field_path)
+        for doc_id, doc in self._docs.items():
+            index.add(doc_id, doc)
+        self._hash_indexes[field_path] = index
+
+    def create_geo_index(self, field_path: str, precision: int = 5) -> None:
+        """Create a 2D geohash index on a bbox-valued field."""
+        if field_path in self._geo_indexes:
+            existing = self._geo_indexes[field_path]
+            if existing.precision != precision:
+                raise IndexError_(
+                    f"geo index on {field_path!r} already exists with "
+                    f"precision {existing.precision}")
+            return
+        index = GeoHashIndex(field_path, precision)
+        for doc_id, doc in self._docs.items():
+            index.add(doc_id, doc)
+        self._geo_indexes[field_path] = index
+
+    def drop_index(self, field_path: str) -> None:
+        """Drop any secondary index on ``field_path`` (primary key excluded)."""
+        if field_path == self.primary_key:
+            raise IndexError_("cannot drop the primary key index")
+        self._unique_indexes.pop(field_path, None)
+        self._hash_indexes.pop(field_path, None)
+        self._geo_indexes.pop(field_path, None)
+
+    @property
+    def index_fields(self) -> set[str]:
+        """All indexed field paths (for introspection/tests)."""
+        return (set(self._unique_indexes) | set(self._hash_indexes)
+                | set(self._geo_indexes))
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    def insert_one(self, document: Mapping[str, Any]) -> int:
+        """Insert a document (stored by reference-independent copy); returns
+        its internal doc id.  Raises on unique-index violations."""
+        if not isinstance(document, Mapping):
+            raise StoreError(f"documents must be mappings, got {type(document).__name__}")
+        doc = dict(document)
+        doc_id = self._next_id
+        # Validate all unique indexes before mutating any of them, so a
+        # failed insert leaves the collection unchanged.
+        for index in self._unique_indexes.values():
+            index.add(doc_id, doc)
+        try:
+            for index in self._hash_indexes.values():
+                index.add(doc_id, doc)
+            for index in self._geo_indexes.values():
+                index.add(doc_id, doc)
+        except Exception:
+            for index in self._unique_indexes.values():
+                index.remove(doc_id, doc)
+            raise
+        self._docs[doc_id] = doc
+        self._next_id += 1
+        return doc_id
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
+        """Insert documents one by one; stops at the first failure."""
+        return [self.insert_one(doc) for doc in documents]
+
+    def delete_one(self, query: Mapping[str, Any]) -> int:
+        """Delete the first matching document; returns number deleted (0/1)."""
+        for doc_id in self._plan_candidates(query)[0]:
+            doc = self._docs.get(doc_id)
+            if doc is not None and matches(doc, query):
+                self._remove(doc_id)
+                return 1
+        return 0
+
+    def delete_many(self, query: Mapping[str, Any]) -> int:
+        """Delete all matching documents; returns the count."""
+        victims = [doc_id for doc_id in self._plan_candidates(query)[0]
+                   if matches(self._docs[doc_id], query)]
+        for doc_id in victims:
+            self._remove(doc_id)
+        return len(victims)
+
+    def update_one(self, query: Mapping[str, Any],
+                   update: "Mapping[str, Any] | Callable[[dict], dict]") -> int:
+        """Update the first matching document.
+
+        ``update`` is either a ``{"$set": {...}}`` document or a callable
+        receiving a copy of the document and returning the replacement.
+        Returns the number of documents updated (0 or 1).
+        """
+        for doc_id in self._plan_candidates(query)[0]:
+            doc = self._docs.get(doc_id)
+            if doc is None or not matches(doc, query):
+                continue
+            new_doc = self._apply_update(doc, update)
+            self._remove(doc_id)
+            # Reinsert under the same id to keep external references stable.
+            for index in self._unique_indexes.values():
+                index.add(doc_id, new_doc)
+            for index in self._hash_indexes.values():
+                index.add(doc_id, new_doc)
+            for index in self._geo_indexes.values():
+                index.add(doc_id, new_doc)
+            self._docs[doc_id] = new_doc
+            return 1
+        return 0
+
+    @staticmethod
+    def _apply_update(doc: dict, update: "Mapping[str, Any] | Callable[[dict], dict]") -> dict:
+        if callable(update):
+            new_doc = update(copy.deepcopy(doc))
+            if not isinstance(new_doc, dict):
+                raise StoreError("update callable must return a dict")
+            return new_doc
+        if not isinstance(update, Mapping) or set(update) - {"$set", "$unset"}:
+            raise StoreError("update document must contain only $set/$unset")
+        new_doc = copy.deepcopy(doc)
+        for path, value in (update.get("$set") or {}).items():
+            _set_path(new_doc, path, value)
+        for path in (update.get("$unset") or {}):
+            _unset_path(new_doc, path)
+        return new_doc
+
+    def _remove(self, doc_id: int) -> None:
+        doc = self._docs.pop(doc_id)
+        for index in self._unique_indexes.values():
+            index.remove(doc_id, doc)
+        for index in self._hash_indexes.values():
+            index.remove(doc_id, doc)
+        for index in self._geo_indexes.values():
+            index.remove(doc_id, doc)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def count(self, query: "Mapping[str, Any] | None" = None) -> int:
+        """Number of documents matching ``query`` (all when ``None``)."""
+        if not query:
+            return len(self._docs)
+        return len(self.find(query).documents)
+
+    def get(self, key: Any) -> dict:
+        """Primary-key point lookup; raises when absent or no primary key."""
+        if self.primary_key is None:
+            raise StoreError(f"collection {self.name!r} has no primary key")
+        doc_id = self._unique_indexes[self.primary_key].find(key)
+        if doc_id is None:
+            raise DocumentNotFoundError(
+                f"no document with {self.primary_key}={key!r} in {self.name!r}")
+        return copy.deepcopy(self._docs[doc_id])
+
+    def _plan_candidates(self, query: Mapping[str, Any]) -> tuple[list[int], str]:
+        """Choose an access path; returns (candidate doc ids, plan name)."""
+        if query:
+            # 1. unique index equality
+            for field_path, index in self._unique_indexes.items():
+                values = extract_equality(query, field_path)
+                if values is not None:
+                    ids = [i for i in (index.find(v) for v in values) if i is not None]
+                    return ids, f"unique_index:{field_path}"
+            # 2. hash index equality / $in / $all
+            for field_path, index in self._hash_indexes.items():
+                values = extract_equality(query, field_path)
+                if values is not None:
+                    return sorted(index.find_any(values)), f"hash_index:{field_path}"
+                all_values = extract_all_values(query, field_path)
+                if all_values is not None:
+                    # Any one value gives a superset; pick the rarest bucket.
+                    best = min(all_values, key=lambda v: len(index.find(v)))
+                    return sorted(index.find(best)), f"hash_index:{field_path}"
+            # 3. geo index
+            for field_path, index in self._geo_indexes.items():
+                shape = extract_geo(query, field_path)
+                if shape is not None:
+                    return sorted(index.candidates(shape)), f"geo_index:{field_path}"
+        return list(self._docs.keys()), "scan"
+
+    def find(self, query: "Mapping[str, Any] | None" = None, *,
+             projection: "list[str] | None" = None,
+             sort: "str | None" = None, descending: bool = False,
+             limit: "int | None" = None, skip: int = 0) -> FindResult:
+        """Run a query and return matching documents (as copies).
+
+        ``projection`` keeps only the listed top-level fields; ``sort`` is a
+        dotted field path; ``limit``/``skip`` paginate after sorting.
+        """
+        query = query or {}
+        candidate_ids, plan = self._plan_candidates(query)
+        matched: list[dict] = []
+        examined = 0
+        for doc_id in candidate_ids:
+            doc = self._docs.get(doc_id)
+            if doc is None:
+                continue
+            examined += 1
+            if matches(doc, query):
+                matched.append(doc)
+        if sort is not None:
+            matched.sort(key=lambda d: _sort_key(get_path(d, sort)), reverse=descending)
+        if skip:
+            matched = matched[skip:]
+        if limit is not None:
+            matched = matched[:limit]
+        out: list[dict] = []
+        for doc in matched:
+            if projection is None:
+                out.append(copy.deepcopy(doc))
+            else:
+                out.append({k: copy.deepcopy(doc[k]) for k in projection if k in doc})
+        return FindResult(documents=out, plan=plan, candidates_examined=examined)
+
+    def find_one(self, query: "Mapping[str, Any] | None" = None) -> "dict | None":
+        """First matching document, or ``None``."""
+        result = self.find(query, limit=1)
+        return result.documents[0] if result.documents else None
+
+    def distinct(self, field_path: str,
+                 query: "Mapping[str, Any] | None" = None) -> list[Any]:
+        """Sorted distinct values of ``field_path`` over matching documents;
+        array values contribute their elements (multikey semantics)."""
+        values: set[Any] = set()
+        for doc in self.find(query).documents:
+            value = get_path(doc, field_path)
+            if is_missing(value):
+                continue
+            if isinstance(value, (list, tuple)):
+                values.update(value)
+            else:
+                values.add(value)
+        return sorted(values, key=repr)
+
+
+def _sort_key(value: Any) -> tuple:
+    """Total order over heterogeneous values: missing first, then by type."""
+    if is_missing(value) or value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    return (4, repr(value))
+
+
+def _set_path(doc: dict, path: str, value: Any) -> None:
+    parts = path.split(".")
+    current = doc
+    for part in parts[:-1]:
+        current = current.setdefault(part, {})
+        if not isinstance(current, dict):
+            raise StoreError(f"$set path {path!r} crosses a non-document value")
+    current[parts[-1]] = value
+
+
+def _unset_path(doc: dict, path: str) -> None:
+    parts = path.split(".")
+    current = doc
+    for part in parts[:-1]:
+        nxt = current.get(part)
+        if not isinstance(nxt, dict):
+            return
+        current = nxt
+    current.pop(parts[-1], None)

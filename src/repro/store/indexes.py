@@ -1,0 +1,188 @@
+"""Secondary indexes for the document store.
+
+Three index kinds mirror what the paper's data tier relies on:
+
+* :class:`UniqueIndex` — the automatically indexed primary key ("Each
+  document has an image patch name attribute that serves as primary key and
+  is automatically indexed by MongoDB").
+* :class:`HashIndex` — equality lookups on an arbitrary (dotted) field;
+  multikey like MongoDB: an array-valued field indexes the document under
+  every element.
+* :class:`GeoHashIndex` — the 2D geohash index on ``location``: documents
+  are bucketed by the geohash cells their bounding box overlaps; a spatial
+  query is answered by covering the query's bounding box with cells and
+  unioning the buckets (candidates are then exactly filtered by the
+  matcher).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..errors import DuplicateKeyError, GeoError, IndexError_
+from ..geo import geohash as gh
+from ..geo.bbox import BoundingBox
+from ..geo.shapes import Shape
+from .matcher import get_path, is_missing
+
+
+def _hashable(value: Any) -> Any:
+    """Coerce index keys to hashable form (lists become tuples)."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+class UniqueIndex:
+    """Unique single-field index; rejects duplicate keys on insert."""
+
+    def __init__(self, field: str) -> None:
+        self.field = field
+        self._by_key: dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def add(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        value = get_path(document, self.field)
+        if is_missing(value):
+            raise IndexError_(f"document {doc_id} is missing unique field {self.field!r}")
+        key = _hashable(value)
+        existing = self._by_key.get(key)
+        if existing is not None and existing != doc_id:
+            raise DuplicateKeyError(
+                f"duplicate value {value!r} for unique field {self.field!r}")
+        self._by_key[key] = doc_id
+
+    def remove(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        key = _hashable(get_path(document, self.field))
+        if self._by_key.get(key) == doc_id:
+            del self._by_key[key]
+
+    def find(self, value: Any) -> "int | None":
+        """The doc id holding ``value``, or ``None``."""
+        return self._by_key.get(_hashable(value))
+
+
+class HashIndex:
+    """Multikey equality index: value -> set of doc ids."""
+
+    def __init__(self, field: str) -> None:
+        self.field = field
+        self._by_key: dict[Any, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def _keys_for(self, document: Mapping[str, Any]) -> list[Any]:
+        value = get_path(document, self.field)
+        if is_missing(value):
+            return []
+        if isinstance(value, (list, tuple)):
+            return [_hashable(v) for v in value]
+        return [_hashable(value)]
+
+    def add(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        for key in self._keys_for(document):
+            self._by_key.setdefault(key, set()).add(doc_id)
+
+    def remove(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        for key in self._keys_for(document):
+            bucket = self._by_key.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._by_key[key]
+
+    def find(self, value: Any) -> set[int]:
+        """Doc ids whose field equals (or whose array contains) ``value``."""
+        return set(self._by_key.get(_hashable(value), ()))
+
+    def find_any(self, values: Iterable[Any]) -> set[int]:
+        """Union of :meth:`find` over ``values`` (serves ``$in`` plans)."""
+        out: set[int] = set()
+        for value in values:
+            out |= self.find(value)
+        return out
+
+
+class GeoHashIndex:
+    """2D geohash index over bounding-box geometries.
+
+    Each document's box is covered by geohash cells at a fixed ``precision``
+    and the doc id is inserted in every overlapping cell bucket.  Queries
+    cover their own bounding box and union the buckets — a superset of the
+    true result that the caller refines with an exact geometric test, which
+    is exactly how MongoDB's legacy 2D index serves ``$geoWithin``.
+    """
+
+    def __init__(self, field: str, precision: int = 5, *, max_cells_per_doc: int = 512) -> None:
+        if not 1 <= precision <= 12:
+            raise IndexError_(f"geohash precision must be in [1, 12], got {precision}")
+        self.field = field
+        self.precision = precision
+        self.max_cells_per_doc = max_cells_per_doc
+        self._buckets: dict[str, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def _box_for(self, document: Mapping[str, Any]) -> "BoundingBox | None":
+        value = get_path(document, self.field)
+        if is_missing(value):
+            return None
+        if isinstance(value, BoundingBox):
+            return value
+        if isinstance(value, Mapping) and "bbox" in value:
+            value = value["bbox"]
+        if isinstance(value, (list, tuple)) and len(value) == 4:
+            try:
+                return BoundingBox.from_tuple(tuple(float(v) for v in value))
+            except GeoError:
+                return None
+        return None
+
+    def _cells_for_box(self, box: BoundingBox) -> list[str]:
+        return gh.cover_bbox(box, self.precision, max_cells=self.max_cells_per_doc)
+
+    def add(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        box = self._box_for(document)
+        if box is None:
+            return  # documents without geometry are simply not indexed
+        for cell in self._cells_for_box(box):
+            self._buckets.setdefault(cell, set()).add(doc_id)
+
+    def remove(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        box = self._box_for(document)
+        if box is None:
+            return
+        for cell in self._cells_for_box(box):
+            bucket = self._buckets.get(cell)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._buckets[cell]
+
+    def candidates(self, shape: Shape) -> set[int]:
+        """Doc ids whose cells overlap the shape's bounding box.
+
+        This is a superset of the exact answer; callers must re-check each
+        candidate geometrically.
+        """
+        box = shape.bounding_box()
+        try:
+            cells = gh.cover_bbox(box, self.precision, max_cells=65536)
+        except GeoError:
+            # Query box too large for this precision: degrade to everything.
+            out: set[int] = set()
+            for bucket in self._buckets.values():
+                out |= bucket
+            return out
+        out = set()
+        for cell in cells:
+            bucket = self._buckets.get(cell)
+            if bucket:
+                out |= bucket
+        return out

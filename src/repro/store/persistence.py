@@ -1,0 +1,96 @@
+"""Database persistence: JSON snapshot of collections and their indexes.
+
+The metadata/feedback collections are JSON-native; binary payloads (image
+bands, rendered images) are encoded as base64 so a full EarthQube data tier
+can be checkpointed and restored.  Index definitions are persisted and
+rebuilt on load (indexes themselves are derived state).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..errors import StoreError
+from .collection import Collection
+from .database import Database
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__bytes__"}:
+            return base64.b64decode(value["__bytes__"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def _index_spec(collection: Collection) -> dict:
+    return {
+        "primary_key": collection.primary_key,
+        "unique": [f for f in collection._unique_indexes if f != collection.primary_key],
+        "hash": list(collection._hash_indexes),
+        "geo": {field: index.precision
+                for field, index in collection._geo_indexes.items()},
+    }
+
+
+def save_database(db: Database, path: "str | os.PathLike") -> None:
+    """Write a database snapshot to a JSON file."""
+    snapshot = {
+        "format_version": _FORMAT_VERSION,
+        "name": db.name,
+        "collections": {},
+    }
+    for name in db.collection_names():
+        collection = db[name]
+        snapshot["collections"][name] = {
+            "indexes": _index_spec(collection),
+            "documents": [_encode_value(doc)
+                          for doc in collection.find().documents],
+        }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle)
+
+
+def load_database(path: "str | os.PathLike") -> Database:
+    """Restore a database from :func:`save_database` output."""
+    source = Path(path)
+    if not source.exists():
+        raise StoreError(f"no database snapshot at {source}")
+    with open(source, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if snapshot.get("format_version") != _FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported snapshot version {snapshot.get('format_version')!r}")
+    db = Database(snapshot.get("name", "restored"))
+    for name, payload in snapshot["collections"].items():
+        spec = payload["indexes"]
+        collection = db.create_collection(name, primary_key=spec.get("primary_key"))
+        for field in spec.get("unique", []):
+            collection.create_unique_index(field)
+        for field in spec.get("hash", []):
+            collection.create_index(field)
+        for field, precision in spec.get("geo", {}).items():
+            collection.create_geo_index(field, precision=precision)
+        for doc in payload["documents"]:
+            collection.insert_one(_decode_value(doc))
+    return db

@@ -1,0 +1,39 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps
+experiments reproducible: a single seed at the top of a script determines the
+whole pipeline, and independent sub-streams are derived with
+:func:`spawn_rng` so that changing one component's draws does not perturb the
+others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh OS-entropy generator).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise ValidationError(f"seed must be an int, Generator, or None, got {type(seed).__name__}")
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``."""
+    if n < 0:
+        raise ValidationError(f"cannot spawn a negative number of generators: {n}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

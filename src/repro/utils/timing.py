@@ -1,0 +1,63 @@
+"""Timing utilities used by services and benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with lap support.
+
+    Example::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        print(sw.total_seconds)
+
+    Multiple ``with`` blocks accumulate; :attr:`laps` records each block's
+    duration so benchmark harnesses can report percentiles.
+    """
+
+    total_seconds: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch was not running")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.total_seconds += lap
+        self.laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean lap duration (0.0 when no laps were recorded)."""
+        return self.total_seconds / len(self.laps) if self.laps else 0.0
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a unit suited to its magnitude."""
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

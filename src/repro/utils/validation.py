@@ -1,0 +1,51 @@
+"""Small validation helpers used across the package.
+
+These raise :class:`repro.errors.ValidationError` with messages that name the
+parameter and the offending value, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sized
+
+from ..errors import ValidationError
+
+
+def check_positive(name: str, value: "int | float") -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def check_fraction(name: str, value: float, *, inclusive: bool = True) -> None:
+    """Require ``value`` in ``[0, 1]`` (or ``(0, 1)`` when not inclusive)."""
+    if inclusive:
+        ok = 0.0 <= value <= 1.0
+    else:
+        ok = 0.0 < value < 1.0
+    if not ok:
+        raise ValidationError(f"{name} must be a fraction in [0, 1], got {value!r}")
+
+
+def check_in_range(name: str, value: "int | float", lo: "int | float", hi: "int | float") -> None:
+    """Require ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValidationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_non_empty(name: str, value: "Sized | Iterable[Any]") -> None:
+    """Require a sized container to be non-empty."""
+    try:
+        size = len(value)  # type: ignore[arg-type]
+    except TypeError:
+        raise ValidationError(f"{name} must be a sized container") from None
+    if size == 0:
+        raise ValidationError(f"{name} must not be empty")
+
+
+def check_type(name: str, value: Any, expected: "type | tuple[type, ...]") -> None:
+    """Require ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        names = (expected.__name__ if isinstance(expected, type)
+                 else " | ".join(t.__name__ for t in expected))
+        raise ValidationError(f"{name} must be {names}, got {type(value).__name__}")

@@ -1,0 +1,17 @@
+"""Query workloads and the paper's three demo scenarios."""
+
+from .generators import QueryWorkloadGenerator
+from .scenarios import (
+    ScenarioResult,
+    run_label_exploration,
+    run_query_by_new_example,
+    run_spatial_query_by_example,
+)
+
+__all__ = [
+    "QueryWorkloadGenerator",
+    "ScenarioResult",
+    "run_label_exploration",
+    "run_spatial_query_by_example",
+    "run_query_by_new_example",
+]

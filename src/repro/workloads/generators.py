@@ -1,0 +1,102 @@
+"""Random query workloads for the data-tier and retrieval benchmarks.
+
+Generates realistic :class:`~repro.earthqube.query.QuerySpec` mixes — the
+kind of spatial, temporal, and label queries the demo visitors issue —
+deterministically from a seed, so benchmark runs are comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bigearthnet.clc import get_nomenclature
+from ..bigearthnet.countries import COUNTRIES
+from ..bigearthnet.seasons import SEASONS
+from ..errors import ValidationError
+from ..geo.bbox import BoundingBox
+from ..geo.shapes import Circle, Rectangle
+from ..earthqube.label_filter import LabelOperator
+from ..earthqube.query import QuerySpec
+from ..utils.rng import as_rng
+
+
+class QueryWorkloadGenerator:
+    """Seeded generator of query-panel workloads."""
+
+    def __init__(self, seed: "int | np.random.Generator | None" = 0) -> None:
+        self._rng = as_rng(seed)
+        self._nomenclature = get_nomenclature()
+
+    def random_rectangle(self, *, max_extent_deg: float = 3.0) -> Rectangle:
+        """A rectangle selection inside a random country's bounding box."""
+        if max_extent_deg <= 0:
+            raise ValidationError(f"max_extent_deg must be positive, got {max_extent_deg}")
+        rng = self._rng
+        country = COUNTRIES[int(rng.integers(len(COUNTRIES)))]
+        box = country.bbox
+        width = float(rng.uniform(0.2, max_extent_deg))
+        height = float(rng.uniform(0.2, max_extent_deg))
+        lon = float(rng.uniform(box.west, box.east))
+        lat = float(rng.uniform(box.south, box.north))
+        return Rectangle(BoundingBox.from_center(lon, lat, width, height))
+
+    def random_circle(self, *, max_radius_km: float = 150.0) -> Circle:
+        """A circle selection centered in a random country."""
+        rng = self._rng
+        country = COUNTRIES[int(rng.integers(len(COUNTRIES)))]
+        box = country.bbox
+        return Circle(
+            lon=float(rng.uniform(box.west, box.east)),
+            lat=float(rng.uniform(box.south, box.north)),
+            radius_km=float(rng.uniform(10.0, max_radius_km)),
+        )
+
+    def random_labels(self, count: "int | None" = None) -> tuple[str, ...]:
+        """A random label selection of 1-3 classes."""
+        rng = self._rng
+        if count is None:
+            count = int(rng.integers(1, 4))
+        names = self._nomenclature.names
+        chosen = rng.choice(len(names), size=min(count, len(names)), replace=False)
+        return tuple(names[i] for i in sorted(chosen))
+
+    def spatial_query(self) -> QuerySpec:
+        """A pure spatial query (rectangle or circle, 50/50)."""
+        shape = self.random_rectangle() if self._rng.random() < 0.5 else self.random_circle()
+        return QuerySpec(shape=shape)
+
+    def label_query(self, operator: "LabelOperator | None" = None) -> QuerySpec:
+        """A pure label query with a random (or given) operator."""
+        if operator is None:
+            operator = [LabelOperator.SOME, LabelOperator.EXACTLY,
+                        LabelOperator.AT_LEAST_AND_MORE][int(self._rng.integers(3))]
+        return QuerySpec(labels=self.random_labels(), label_operator=operator)
+
+    def mixed_query(self) -> QuerySpec:
+        """Spatial + temporal + label query, the 'power user' pattern."""
+        rng = self._rng
+        seasons = None
+        if rng.random() < 0.4:
+            seasons = tuple(np.random.default_rng(int(rng.integers(1 << 31)))
+                            .choice(SEASONS, size=int(rng.integers(1, 3)), replace=False))
+        return QuerySpec(
+            shape=self.random_rectangle(max_extent_deg=5.0),
+            date_from="2017-06-01",
+            date_to="2018-05-31",
+            seasons=seasons,
+            labels=self.random_labels() if rng.random() < 0.5 else None,
+            label_operator=LabelOperator.SOME,
+        )
+
+    def batch(self, count: int, kind: str = "mixed") -> list[QuerySpec]:
+        """``count`` queries of a kind: 'spatial', 'label', or 'mixed'."""
+        if count <= 0:
+            raise ValidationError(f"count must be positive, got {count}")
+        maker = {
+            "spatial": self.spatial_query,
+            "label": self.label_query,
+            "mixed": self.mixed_query,
+        }.get(kind)
+        if maker is None:
+            raise ValidationError(f"unknown workload kind {kind!r}")
+        return [maker() for _ in range(count)]

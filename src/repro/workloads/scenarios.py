@@ -1,0 +1,159 @@
+"""The paper's three demonstration scenarios as programmatic workloads
+(paper, Section 4).  Each returns a :class:`ScenarioResult` capturing what a
+demo visitor would see, so examples, tests, and benchmarks all replay the
+same flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bigearthnet.patch import Patch
+from ..bigearthnet.synthesis import PatchSynthesizer
+from ..errors import ValidationError
+from ..geo.bbox import BoundingBox
+from ..geo.shapes import Rectangle
+from ..earthqube.label_filter import LabelOperator
+from ..earthqube.query import QuerySpec
+from ..earthqube.server import EarthQube
+from ..earthqube.statistics import LabelStatistics
+from ..utils.rng import as_rng
+
+# The paper's scenario 1 labels: industrial areas adjacent to inland waters.
+INDUSTRIAL_LABEL = "Industrial or commercial units"
+INLAND_WATER_LABELS = ("Water bodies", "Water courses")
+AGRICULTURE_NATURAL_LABEL = ("Land principally occupied by agriculture, "
+                             "with significant areas of natural vegetation")
+
+# Scenario 2's geospatial query: the southwestern tip of Portugal.
+SW_PORTUGAL = Rectangle(BoundingBox(west=-9.5, south=37.0, east=-8.0, north=38.6))
+
+
+@dataclass
+class ScenarioResult:
+    """What the visitor saw: matches, statistics, and CBIR neighbours."""
+
+    scenario: str
+    total_matches: int
+    returned_names: list[str]
+    statistics: "LabelStatistics | None" = None
+    query_name: "str | None" = None
+    neighbor_names: list[str] = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+
+def run_label_exploration(system: EarthQube, *, limit: int = 50) -> ScenarioResult:
+    """Scenario 1 — label-based exploration.
+
+    "Visitors can search for industrial areas adjacent to inland water
+    bodies using the label filtering functionality ... By inspecting the
+    label statistics view, visitors can discover other land cover classes
+    that fit the query description."
+    """
+    spec = QuerySpec(
+        labels=(INDUSTRIAL_LABEL,) + INLAND_WATER_LABELS,
+        label_operator=LabelOperator.SOME,
+        limit=limit,
+    )
+    response = system.search(spec)
+    stats = system.statistics_for(response.documents)
+    # The paper's follow-up observation: agriculture near polluted waters.
+    agriculture_count = stats.counts.get(AGRICULTURE_NATURAL_LABEL, 0)
+    return ScenarioResult(
+        scenario="label_exploration",
+        total_matches=response.total_matches,
+        returned_names=response.names,
+        statistics=stats,
+        notes={
+            "operator": spec.label_operator.value,
+            "selected_labels": list(spec.labels or ()),
+            "agriculture_cooccurrence": agriculture_count,
+        },
+    )
+
+
+def run_spatial_query_by_example(system: EarthQube, *, k: int = 10,
+                                 render_limit: int = 20) -> ScenarioResult:
+    """Scenario 2 — spatial exploration + query-by-existing-example.
+
+    "Visitors can submit a geospatial query covering the southwestern tip of
+    Portugal ... visualize the images ... select an image and perform
+    content-based image retrieval to display similar images in the 10
+    countries."
+    """
+    spec = QuerySpec(shape=SW_PORTUGAL)
+    response = system.search(spec)
+    if not response.documents:
+        raise ValidationError(
+            "spatial scenario found no images in SW Portugal; "
+            "archive too small — increase num_patches")
+    renders = system.render_many(response.names[:render_limit])
+    query_name = response.names[0]
+    similar = system.similar_images(query_name, k=k)
+    neighbor_docs = system.documents_for(similar.names)
+    countries = sorted({d["properties"]["country"] for d in neighbor_docs})
+    return ScenarioResult(
+        scenario="spatial_query_by_example",
+        total_matches=response.total_matches,
+        returned_names=response.names,
+        query_name=query_name,
+        neighbor_names=similar.names,
+        statistics=system.statistics_for(neighbor_docs),
+        notes={
+            "rendered": len(renders),
+            "neighbor_countries": countries,
+            "radius_used": similar.radius_used,
+        },
+    )
+
+
+def run_query_by_new_example(system: EarthQube, *,
+                             labels: "tuple[str, ...] | None" = None,
+                             k: int = 10,
+                             seed: int = 999) -> ScenarioResult:
+    """Scenario 3 — query-by-new-example.
+
+    "Sentinel satellites constantly collect new images ... these newly
+    collected images do not have any land cover class labels ... visitors
+    can upload such images to EarthQube to search for other images with
+    similar semantic content.  Based on the semantic search results, one
+    could design an automatic labeling process."
+
+    We synthesize a fresh, *unindexed* patch with known (hidden) labels,
+    query by it, and vote labels from the neighbours — the automatic
+    labeling process the paper sketches.
+    """
+    labels = labels or ("Coniferous forest", "Water bodies")
+    rng = as_rng(seed)
+    synthesizer = PatchSynthesizer(system.config.archive)
+    s2, s1 = synthesizer.synthesize(labels, "Summer", rng)
+    uploaded = Patch(
+        name="UPLOAD_0001",
+        labels=labels,  # ground truth, hidden from the system
+        country="Portugal",
+        bbox=BoundingBox(west=-8.9, south=38.5, east=-8.888, north=38.511),
+        acquisition_date=__import__("datetime").datetime(2018, 6, 15, 10, 30),
+        season="Summer",
+        s2_bands=s2,
+        s1_bands=s1,
+    )
+    similar = system.similar_to_new_image(uploaded, k=k)
+    neighbor_docs = system.documents_for(similar.names)
+    stats = system.statistics_for(neighbor_docs)
+    # Automatic labeling: labels occurring in a majority of neighbours.
+    majority = max(1, len(neighbor_docs) // 2)
+    predicted = [bar.label for bar in stats if bar.count >= majority]
+    recovered = sorted(set(predicted) & set(labels))
+    return ScenarioResult(
+        scenario="query_by_new_example",
+        total_matches=len(similar),
+        returned_names=similar.names,
+        query_name=uploaded.name,
+        neighbor_names=similar.names,
+        statistics=stats,
+        notes={
+            "true_labels": list(labels),
+            "predicted_labels": predicted,
+            "recovered_labels": recovered,
+        },
+    )

@@ -1,0 +1,152 @@
+"""Tests for the CLC nomenclature and the label-char codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bigearthnet import BIGEARTHNET_LABELS, LabelCharCodec, get_nomenclature
+from repro.bigearthnet.clc import LEVEL1, LEVEL2
+from repro.errors import CodecError, UnknownLabelError
+
+
+@pytest.fixture(scope="module")
+def nomenclature():
+    return get_nomenclature()
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return LabelCharCodec()
+
+
+class TestNomenclature:
+    def test_43_classes(self, nomenclature):
+        assert len(nomenclature) == 43
+        assert len(BIGEARTHNET_LABELS) == 43
+
+    def test_unique_names_and_codes(self, nomenclature):
+        names = [c.name for c in nomenclature]
+        codes = [c.code for c in nomenclature]
+        assert len(set(names)) == 43
+        assert len(set(codes)) == 43
+
+    def test_hierarchy_navigation(self, nomenclature):
+        cls = nomenclature.by_name("Coniferous forest")
+        assert cls.code == "312"
+        assert cls.level1_name == "Forest and semi-natural areas"
+        assert cls.level2_name == "Forests"
+
+    def test_by_code(self, nomenclature):
+        assert nomenclature.by_code("523").name == "Sea and ocean"
+
+    def test_unknown_lookups(self, nomenclature):
+        with pytest.raises(UnknownLabelError):
+            nomenclature.by_name("Lava fields")
+        with pytest.raises(UnknownLabelError):
+            nomenclature.by_code("999")
+
+    def test_index_roundtrip(self, nomenclature):
+        for i, name in enumerate(nomenclature.names):
+            assert nomenclature.index_of(name) == i
+            assert nomenclature.name_of(i) == name
+
+    def test_index_out_of_range(self, nomenclature):
+        with pytest.raises(UnknownLabelError):
+            nomenclature.name_of(43)
+
+    def test_every_class_has_color(self, nomenclature):
+        for cls in nomenclature:
+            color = nomenclature.color_of(cls.name)
+            assert color.startswith("#") and len(color) == 7
+
+    def test_level2_codes_consistent(self, nomenclature):
+        for cls in nomenclature:
+            assert cls.level1_code in LEVEL1
+            assert cls.level2_code in LEVEL2
+            assert cls.level2_code.startswith(cls.level1_code)
+
+    def test_forests_level2_expansion(self, nomenclature):
+        # The paper's example: Level-2 'Forest' comprises three Level-3 types.
+        forests = nomenclature.level3_under_level2("31")
+        assert {c.name for c in forests} == {
+            "Broad-leaved forest", "Coniferous forest", "Mixed forest"}
+
+    def test_level1_expansion(self, nomenclature):
+        water = nomenclature.level3_under_level1("5")
+        assert {c.name for c in water} == {
+            "Water courses", "Water bodies", "Coastal lagoons",
+            "Estuaries", "Sea and ocean"}
+
+    def test_expand_selection_mixed_levels(self, nomenclature):
+        names = nomenclature.expand_selection(["31", "523"])
+        assert "Coniferous forest" in names
+        assert "Sea and ocean" in names
+        assert len(names) == 4
+
+    def test_expand_selection_deduplicates(self, nomenclature):
+        names = nomenclature.expand_selection(["31", "312"])
+        assert names.count("Coniferous forest") == 1
+
+    def test_validate_names(self, nomenclature):
+        out = nomenclature.validate_names(["Pastures", "Pastures", "Airports"])
+        assert out == ["Pastures", "Airports"]
+        with pytest.raises(UnknownLabelError):
+            nomenclature.validate_names(["Not a label"])
+
+
+class TestCodec:
+    def test_bijective(self, codec, nomenclature):
+        chars = {codec.char_of(name) for name in nomenclature.names}
+        assert len(chars) == 43
+        for name in nomenclature.names:
+            assert codec.name_of(codec.char_of(name)) == name
+
+    def test_encode_sorted_and_deduplicated(self, codec):
+        encoded = codec.encode(["Sea and ocean", "Pastures", "Pastures"])
+        assert encoded == "".join(sorted(encoded))
+        assert len(encoded) == 2
+
+    def test_decode_roundtrip(self, codec):
+        labels = ["Coniferous forest", "Water bodies", "Pastures"]
+        decoded = codec.decode(codec.encode(labels))
+        assert set(decoded) == set(labels)
+
+    def test_unknown_label(self, codec):
+        with pytest.raises(CodecError):
+            codec.char_of("Atlantis")
+        with pytest.raises(CodecError):
+            codec.name_of("\x01")
+
+    def test_intersects(self, codec):
+        a = codec.encode(["Pastures", "Water bodies"])
+        b = codec.encode(["Water bodies"])
+        c = codec.encode(["Airports"])
+        assert codec.intersects(a, b)
+        assert not codec.intersects(a, c)
+
+    def test_equals(self, codec):
+        a = codec.encode(["Pastures", "Water bodies"])
+        b = codec.encode(["Water bodies", "Pastures"])
+        assert codec.equals(a, b)
+        assert not codec.equals(a, codec.encode(["Pastures"]))
+
+    def test_contains_all(self, codec):
+        image = codec.encode(["Pastures", "Water bodies", "Airports"])
+        assert codec.contains_all(image, codec.encode(["Pastures", "Airports"]))
+        assert not codec.contains_all(image, codec.encode(["Sea and ocean"]))
+
+
+@given(st.lists(st.sampled_from(BIGEARTHNET_LABELS), min_size=1, max_size=6),
+       st.lists(st.sampled_from(BIGEARTHNET_LABELS), min_size=1, max_size=6))
+def test_property_codec_predicates_match_set_algebra(labels_a, labels_b):
+    codec = LabelCharCodec()
+    enc_a, enc_b = codec.encode(labels_a), codec.encode(labels_b)
+    set_a, set_b = set(labels_a), set(labels_b)
+    assert codec.intersects(enc_a, enc_b) == bool(set_a & set_b)
+    assert codec.equals(enc_a, enc_b) == (set_a == set_b)
+    assert codec.contains_all(enc_a, enc_b) == (set_b <= set_a)
+
+
+@given(st.lists(st.sampled_from(BIGEARTHNET_LABELS), min_size=1, max_size=8))
+def test_property_encode_decode_recovers_set(labels):
+    codec = LabelCharCodec()
+    assert set(codec.decode(codec.encode(labels))) == set(labels)

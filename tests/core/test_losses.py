@@ -1,0 +1,210 @@
+"""Tests for the MiLaN losses, similarity ground truth, and binarization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MiLaNConfig
+from repro.core import (
+    bit_balance_loss,
+    binarize_continuous,
+    independence_loss,
+    jaccard_similarity_matrix,
+    milan_loss,
+    quantization_loss,
+    shares_label_matrix,
+    triplet_loss,
+)
+from repro.core.binarize import bit_activation_rates, bit_entropy, quantization_error
+from repro.errors import ShapeError
+from repro.nn import Tensor
+
+
+class TestSimilarity:
+    def test_shares_label_matrix(self):
+        labels = np.array([
+            [1, 0, 0],
+            [1, 1, 0],
+            [0, 0, 1],
+        ], dtype=bool)
+        sim = shares_label_matrix(labels)
+        assert sim[0, 1] and sim[1, 0]
+        assert not sim[0, 2]
+        assert sim[0, 0]  # self-similar
+
+    def test_shares_two_sets(self):
+        a = np.array([[1, 0]], dtype=bool)
+        b = np.array([[1, 1], [0, 1]], dtype=bool)
+        sim = shares_label_matrix(a, b)
+        assert sim.shape == (1, 2)
+        assert sim[0, 0] and not sim[0, 1]
+
+    def test_jaccard_values(self):
+        a = np.array([[1, 1, 0, 0]], dtype=bool)
+        b = np.array([[1, 1, 0, 0], [1, 0, 1, 0], [0, 0, 1, 1]], dtype=bool)
+        jac = jaccard_similarity_matrix(a, b)[0]
+        assert jac[0] == pytest.approx(1.0)
+        assert jac[1] == pytest.approx(1 / 3)
+        assert jac[2] == pytest.approx(0.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ShapeError):
+            shares_label_matrix(np.ones((2, 3), bool), np.ones((2, 4), bool))
+
+
+class TestTripletLoss:
+    def test_zero_when_margin_satisfied(self):
+        anchors = Tensor(np.zeros((4, 8)))
+        positives = Tensor(np.zeros((4, 8)))
+        negatives = Tensor(np.full((4, 8), 2.0))  # far away
+        loss = triplet_loss(anchors, positives, negatives, margin=1.0)
+        assert loss.item() == 0.0
+
+    def test_positive_when_violated(self):
+        anchors = Tensor(np.zeros((4, 8)))
+        positives = Tensor(np.full((4, 8), 2.0))   # far positive
+        negatives = Tensor(np.zeros((4, 8)))       # negative at anchor
+        loss = triplet_loss(anchors, positives, negatives, margin=1.0)
+        assert loss.item() == pytest.approx(4.0 + 1.0)
+
+    def test_margin_increases_loss(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((8, 16)))
+        p = Tensor(rng.standard_normal((8, 16)))
+        n = Tensor(rng.standard_normal((8, 16)))
+        assert triplet_loss(a, p, n, margin=2.0).item() >= \
+               triplet_loss(a, p, n, margin=0.5).item()
+
+    def test_gradient_flows(self):
+        a = Tensor(np.zeros((2, 4)), requires_grad=True)
+        p = Tensor(np.ones((2, 4)))
+        n = Tensor(np.zeros((2, 4)))
+        loss = triplet_loss(a, p, n, margin=1.0)
+        loss.backward()
+        assert a.grad is not None and np.abs(a.grad).sum() > 0
+
+
+class TestBitBalanceLoss:
+    def test_zero_for_balanced_codes(self):
+        codes = Tensor(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        assert bit_balance_loss(codes).item() == pytest.approx(0.0)
+
+    def test_maximal_for_constant_codes(self):
+        codes = Tensor(np.ones((8, 4)))
+        assert bit_balance_loss(codes).item() == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            bit_balance_loss(Tensor(np.ones(4)))
+
+
+class TestIndependenceLoss:
+    def test_low_for_orthogonal_bits(self):
+        # Hadamard-like balanced, decorrelated columns of +-1.
+        codes = Tensor(np.array([
+            [1.0, 1.0], [1.0, -1.0], [-1.0, 1.0], [-1.0, -1.0]]))
+        assert independence_loss(codes).item() == pytest.approx(0.0)
+
+    def test_high_for_duplicated_bits(self):
+        column = np.array([[1.0], [-1.0], [1.0], [-1.0]])
+        codes = Tensor(np.hstack([column, column]))
+        assert independence_loss(codes).item() > 0.2
+
+
+class TestQuantizationLoss:
+    def test_zero_at_plus_minus_one(self):
+        codes = Tensor(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        assert quantization_loss(codes).item() == pytest.approx(0.0)
+
+    def test_maximal_at_zero(self):
+        codes = Tensor(np.zeros((4, 8)))
+        assert quantization_loss(codes).item() == pytest.approx(1.0)
+
+    def test_symmetric_in_sign(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(6, 8))
+        assert quantization_loss(Tensor(x)).item() == \
+               pytest.approx(quantization_loss(Tensor(-x)).item())
+
+
+class TestCombinedLoss:
+    def _batch(self, seed=0):
+        rng = np.random.default_rng(seed)
+        make = lambda: Tensor(rng.uniform(-1, 1, size=(6, 16)), requires_grad=True)
+        return make(), make(), make()
+
+    def test_breakdown_contains_all_terms(self):
+        a, p, n = self._batch()
+        total, breakdown = milan_loss(a, p, n, MiLaNConfig(num_bits=16))
+        assert {"triplet", "bit_balance", "independence", "quantization",
+                "total"} <= set(breakdown)
+        assert total.item() == pytest.approx(breakdown["total"])
+
+    def test_zero_weights_skip_terms(self):
+        a, p, n = self._batch()
+        config = MiLaNConfig(num_bits=16, weight_bit_balance=0.0,
+                             weight_independence=0.0, weight_quantization=0.0)
+        total, breakdown = milan_loss(a, p, n, config)
+        assert set(breakdown) == {"triplet", "total"}
+
+    def test_all_zero_weights_yield_zero(self):
+        a, p, n = self._batch()
+        config = MiLaNConfig(num_bits=16, weight_triplet=0.0,
+                             weight_bit_balance=0.0, weight_independence=0.0,
+                             weight_quantization=0.0)
+        total, _ = milan_loss(a, p, n, config)
+        assert total.item() == 0.0
+
+    def test_total_is_weighted_sum(self):
+        a, p, n = self._batch()
+        config = MiLaNConfig(num_bits=16, weight_triplet=2.0,
+                             weight_bit_balance=0.5, weight_independence=0.25,
+                             weight_quantization=0.1)
+        total, parts = milan_loss(a, p, n, config)
+        expected = (2.0 * parts["triplet"] + 0.5 * parts["bit_balance"]
+                    + 0.25 * parts["independence"] + 0.1 * parts["quantization"])
+        assert total.item() == pytest.approx(expected)
+
+    def test_gradient_reaches_all_inputs(self):
+        a, p, n = self._batch()
+        total, _ = milan_loss(a, p, n, MiLaNConfig(num_bits=16))
+        total.backward()
+        for t in (a, p, n):
+            assert t.grad is not None
+
+
+class TestBinarize:
+    def test_sign_threshold(self):
+        codes = np.array([[-0.5, 0.0, 0.5], [0.9, -0.9, 0.1]])
+        bits = binarize_continuous(codes)
+        np.testing.assert_array_equal(bits, [[0, 1, 1], [1, 0, 1]])
+        assert bits.dtype == np.uint8
+
+    def test_1d_input(self):
+        np.testing.assert_array_equal(
+            binarize_continuous(np.array([-1.0, 1.0])), [0, 1])
+
+    def test_quantization_error(self):
+        assert quantization_error(np.array([[1.0, -1.0]])) == 0.0
+        assert quantization_error(np.array([[0.0, 0.0]])) == 1.0
+
+    def test_activation_rates_and_entropy(self):
+        bits = np.array([[1, 0], [0, 0], [1, 0], [0, 0]], dtype=np.uint8)
+        rates = bit_activation_rates(bits)
+        np.testing.assert_allclose(rates, [0.5, 0.0])
+        # Entropy: first bit perfect (1.0), second degenerate (0.0).
+        assert bit_entropy(bits) == pytest.approx(0.5, abs=1e-6)
+
+    def test_balanced_bits_have_unit_entropy(self, rng):
+        bits = (rng.random((2000, 16)) < 0.5).astype(np.uint8)
+        assert bit_entropy(bits) > 0.99
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(min_value=0, max_value=9999))
+def test_property_losses_nonnegative(seed):
+    rng = np.random.default_rng(seed)
+    codes = Tensor(rng.uniform(-2, 2, size=(5, 8)))
+    assert bit_balance_loss(codes).item() >= 0
+    assert independence_loss(codes).item() >= 0
+    assert quantization_loss(codes).item() >= 0

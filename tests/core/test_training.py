@@ -1,0 +1,170 @@
+"""Tests for the sampler, trainer, model, and hasher facade.
+
+Training-quality assertions use the session-scoped archive/features so the
+expensive parts run once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MiLaNConfig, TrainConfig
+from repro.core import MiLaNHasher, MiLaNNetwork, MiLaNTrainer, TripletSampler
+from repro.core.similarity import shares_label_matrix
+from repro.errors import NotFittedError, TrainingError, ValidationError
+from repro.index import LinearScanIndex
+
+
+SMALL_MILAN = MiLaNConfig(num_bits=32, hidden_sizes=(64, 32))
+SMALL_TRAIN = TrainConfig(epochs=6, triplets_per_epoch=384, batch_size=64, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained_hasher(features, label_matrix):
+    hasher = MiLaNHasher(SMALL_MILAN, SMALL_TRAIN)
+    return hasher.fit(features, label_matrix)
+
+
+class TestSampler:
+    def test_triplet_constraints_hold(self, label_matrix, rng):
+        sampler = TripletSampler(label_matrix, rng=rng)
+        anchors, positives, negatives = sampler.sample(200)
+        labels = label_matrix.astype(bool)
+        for a, p, n in zip(anchors, positives, negatives):
+            assert (labels[a] & labels[p]).any(), "positive must share a label"
+            assert not (labels[a] & labels[n]).any(), "negative must share none"
+            assert a != p and a != n
+
+    def test_semi_hard_constraints_hold(self, label_matrix, rng):
+        sampler = TripletSampler(label_matrix, rng=rng)
+        codes = rng.standard_normal((label_matrix.shape[0], 16))
+        anchors, positives, negatives = sampler.sample_semi_hard(100, codes, margin=1.0)
+        labels = label_matrix.astype(bool)
+        for a, p, n in zip(anchors, positives, negatives):
+            assert (labels[a] & labels[p]).any()
+            assert not (labels[a] & labels[n]).any()
+
+    def test_degenerate_labels_rejected(self):
+        all_same = np.ones((5, 3), dtype=bool)
+        with pytest.raises(TrainingError):
+            TripletSampler(all_same)
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ValidationError):
+            TripletSampler(np.eye(2, dtype=bool))
+
+    def test_sample_count_validation(self, label_matrix):
+        sampler = TripletSampler(label_matrix, rng=0)
+        with pytest.raises(ValidationError):
+            sampler.sample(0)
+
+    def test_valid_anchor_fraction(self, label_matrix):
+        sampler = TripletSampler(label_matrix, rng=0)
+        assert 0.0 < sampler.valid_anchor_fraction <= 1.0
+
+
+class TestNetwork:
+    def test_output_shape_and_range(self, rng):
+        net = MiLaNNetwork(20, MiLaNConfig(num_bits=16, hidden_sizes=(32,)), rng=rng)
+        codes = net.encode(rng.standard_normal((5, 20)))
+        assert codes.shape == (5, 16)
+        assert (np.abs(codes) <= 1.0).all()
+
+    def test_single_vector_encode(self, rng):
+        net = MiLaNNetwork(20, MiLaNConfig(num_bits=16, hidden_sizes=(32,)), rng=rng)
+        code = net.encode(rng.standard_normal(20))
+        assert code.shape == (16,)
+
+    def test_encode_restores_training_mode(self, rng):
+        net = MiLaNNetwork(20, MiLaNConfig(num_bits=16, dropout=0.2), rng=rng)
+        net.train()
+        net.encode(rng.standard_normal((2, 20)))
+        assert net.training
+
+    def test_invalid_feature_dim(self):
+        with pytest.raises(ValidationError):
+            MiLaNNetwork(0)
+
+    def test_num_bits_property(self):
+        net = MiLaNNetwork(10, MiLaNConfig(num_bits=24, hidden_sizes=(8,)))
+        assert net.num_bits == 24
+
+
+class TestTrainer:
+    def test_loss_decreases(self, features, label_matrix):
+        trainer = MiLaNTrainer(SMALL_MILAN, SMALL_TRAIN)
+        std = (features - features.mean(0)) / (features.std(0) + 1e-9)
+        _, history = trainer.train(std, label_matrix)
+        totals = history.components["total"]
+        assert totals[-1] < totals[0]
+
+    def test_history_records_all_components(self, features, label_matrix):
+        trainer = MiLaNTrainer(SMALL_MILAN, TrainConfig(
+            epochs=2, triplets_per_epoch=128, batch_size=64, seed=0))
+        std = (features - features.mean(0)) / (features.std(0) + 1e-9)
+        _, history = trainer.train(std, label_matrix)
+        assert len(history.epochs) == 2
+        for key in ("triplet", "bit_balance", "independence", "quantization", "total"):
+            assert key in history.components
+
+    def test_early_stopping(self, features, label_matrix):
+        trainer = MiLaNTrainer(SMALL_MILAN, TrainConfig(
+            epochs=50, triplets_per_epoch=128, batch_size=64, seed=0,
+            early_stop_patience=1, learning_rate=1e-6))  # LR so small it stalls
+        std = (features - features.mean(0)) / (features.std(0) + 1e-9)
+        _, history = trainer.train(std, label_matrix)
+        assert len(history.epochs) < 50
+
+    def test_input_validation(self, label_matrix):
+        trainer = MiLaNTrainer(SMALL_MILAN, SMALL_TRAIN)
+        with pytest.raises(ValidationError):
+            trainer.train(np.zeros((10, 5)), label_matrix)  # row mismatch
+
+
+class TestHasher:
+    def test_unfitted_raises(self, features):
+        hasher = MiLaNHasher(SMALL_MILAN, SMALL_TRAIN)
+        with pytest.raises(NotFittedError):
+            hasher.hash_bits(features)
+
+    def test_code_shapes(self, trained_hasher, features):
+        bits = trained_hasher.hash_bits(features[:10])
+        assert bits.shape == (10, 32)
+        assert set(np.unique(bits)) <= {0, 1}
+        packed = trained_hasher.hash_packed(features[:10])
+        assert packed.shape == (10, 1)
+        assert packed.dtype == np.uint64
+
+    def test_continuous_codes_bounded(self, trained_hasher, features):
+        continuous = trained_hasher.hash_continuous(features[:10])
+        assert (np.abs(continuous) <= 1.0).all()
+
+    def test_deterministic_inference(self, trained_hasher, features):
+        a = trained_hasher.hash_packed(features[:5])
+        b = trained_hasher.hash_packed(features[:5])
+        np.testing.assert_array_equal(a, b)
+
+    def test_retrieval_beats_random(self, trained_hasher, features, label_matrix):
+        """The headline property: learned codes retrieve label-similar items."""
+        codes = trained_hasher.hash_packed(features)
+        index = LinearScanIndex(32)
+        index.build(list(range(len(features))), codes)
+        similar = shares_label_matrix(label_matrix)
+        precisions = []
+        random_rates = []
+        for q in range(0, len(features), 7):
+            results = [r for r in index.search_knn(codes[q], 11) if r.item_id != q][:10]
+            precisions.append(np.mean([similar[q, r.item_id] for r in results]))
+            random_rates.append(similar[q].mean())
+        assert np.mean(precisions) > np.mean(random_rates) + 0.15
+
+    def test_state_dict_roundtrip(self, trained_hasher, features):
+        state = trained_hasher.state_dict()
+        fresh = MiLaNHasher(SMALL_MILAN, SMALL_TRAIN)
+        fresh.load_state_dict(state, feature_dim=features.shape[1])
+        np.testing.assert_array_equal(
+            fresh.hash_packed(features[:20]), trained_hasher.hash_packed(features[:20]))
+
+    def test_load_state_dict_validation(self, features):
+        fresh = MiLaNHasher(SMALL_MILAN, SMALL_TRAIN)
+        with pytest.raises(ValidationError):
+            fresh.load_state_dict({}, feature_dim=features.shape[1])

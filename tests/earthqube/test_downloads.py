@@ -1,0 +1,95 @@
+"""Tests for the result-panel download services."""
+
+import zipfile
+import io
+
+import numpy as np
+import pytest
+
+from repro.bigearthnet import LabelCharCodec
+from repro.earthqube.downloads import (
+    export_collection_zip,
+    export_patch_zip,
+    names_as_text,
+    read_band_from_zip,
+)
+from repro.earthqube.ingest import ingest_archive
+from repro.errors import UnknownPatchError, ValidationError
+from repro.store import Database
+
+
+@pytest.fixture(scope="module")
+def populated_db(archive):
+    db = Database.earthqube_schema()
+    ingest_archive(db, archive, LabelCharCodec(), store_renders=False)
+    return db
+
+
+class TestNamesAsText:
+    def test_one_name_per_line(self):
+        text = names_as_text(["a", "b", "c"])
+        assert text == "a\nb\nc\n"
+
+    def test_empty(self):
+        assert names_as_text([]) == ""
+
+    def test_skips_empty_names(self):
+        assert names_as_text(["a", "", "b"]) == "a\nb\n"
+
+
+class TestPatchZip:
+    def test_contains_all_bands_and_metadata(self, populated_db, archive):
+        name = archive.names[0]
+        payload = export_patch_zip(populated_db, name)
+        with zipfile.ZipFile(io.BytesIO(payload)) as zf:
+            entries = set(zf.namelist())
+        assert f"{name}/metadata.json" in entries
+        for band in ("B02", "B08", "B11", "VV"):
+            assert f"{name}/{band}.npy" in entries
+
+    def test_band_roundtrip(self, populated_db, archive):
+        name = archive.names[1]
+        payload = export_patch_zip(populated_db, name)
+        band = read_band_from_zip(payload, name, "B08")
+        np.testing.assert_array_equal(band, archive.get(name).s2_bands["B08"])
+
+    def test_unknown_patch(self, populated_db):
+        with pytest.raises(UnknownPatchError):
+            export_patch_zip(populated_db, "missing")
+
+    def test_empty_name(self, populated_db):
+        with pytest.raises(ValidationError):
+            export_patch_zip(populated_db, "")
+
+
+class TestCollectionZip:
+    def test_manifest_and_members(self, populated_db, archive):
+        names = archive.names[:3]
+        payload = export_collection_zip(populated_db, names)
+        with zipfile.ZipFile(io.BytesIO(payload)) as zf:
+            manifest = zf.read("names.txt").decode()
+            entries = set(zf.namelist())
+        assert manifest == names_as_text(names)
+        for name in names:
+            assert f"{name}/metadata.json" in entries
+
+    def test_deduplicates_names(self, populated_db, archive):
+        name = archive.names[0]
+        payload = export_collection_zip(populated_db, [name, name])
+        with zipfile.ZipFile(io.BytesIO(payload)) as zf:
+            manifest = zf.read("names.txt").decode()
+        assert manifest.count(name) == 1
+
+    def test_empty_collection_rejected(self, populated_db):
+        with pytest.raises(ValidationError):
+            export_collection_zip(populated_db, [])
+
+    def test_cart_download_flow(self, populated_db, archive):
+        """Cart -> download() -> single collection zip, as the UI does."""
+        from repro.earthqube import DownloadCart
+        cart = DownloadCart()
+        cart.add_page(archive.names[:5])
+        collection = cart.download()
+        payload = export_collection_zip(populated_db, collection)
+        assert len(payload) > 1000
+        assert len(cart) == 0

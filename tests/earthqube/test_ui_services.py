@@ -1,0 +1,251 @@
+"""Tests for statistics, markers, cart, feedback, rendering, ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.bigearthnet import LabelCharCodec
+from repro.earthqube import (
+    DownloadCart,
+    FeedbackService,
+    Marker,
+    MarkerClusterer,
+    ingest_archive,
+    label_statistics,
+    metadata_document,
+    render_rgb,
+)
+from repro.earthqube.ingest import (
+    decode_image_document,
+    decode_rendered_document,
+    image_data_document,
+    rendered_image_document,
+)
+from repro.earthqube.markers import markers_from_documents
+from repro.earthqube.rendering import percentile_stretch, render_false_color
+from repro.errors import CartError, GeoError, ValidationError
+from repro.store import Database
+
+
+class TestIngestion:
+    def test_metadata_document_schema(self, archive):
+        codec = LabelCharCodec()
+        doc = metadata_document(archive[0], codec)
+        assert doc["name"] == archive[0].name
+        assert len(doc["location"]["bbox"]) == 4
+        props = doc["properties"]
+        assert props["labels"] == list(archive[0].labels)
+        assert props["label_chars"] == codec.encode(archive[0].labels)
+        assert props["season"] == archive[0].season
+        assert "S2" in props["satellites"] and "S1" in props["satellites"]
+
+    def test_image_document_roundtrip(self, archive):
+        doc = image_data_document(archive[0])
+        band = decode_image_document(doc, "B08")
+        np.testing.assert_array_equal(band, archive[0].s2_bands["B08"])
+
+    def test_rendered_document_roundtrip(self, archive):
+        doc = rendered_image_document(archive[0])
+        rgb = decode_rendered_document(doc)
+        assert rgb.shape == (120, 120, 3)
+        assert rgb.dtype == np.uint8
+
+    def test_ingest_populates_collections(self, archive):
+        db = Database.earthqube_schema()
+        count = ingest_archive(db, archive)
+        assert count == len(archive)
+        assert len(db["metadata"]) == len(archive)
+        assert len(db["image_data"]) == len(archive)
+        assert len(db["rendered_images"]) == len(archive)
+        assert len(db["feedback"]) == 0
+
+    def test_ingest_metadata_only(self, archive):
+        db = Database.earthqube_schema()
+        ingest_archive(db, archive, store_images=False, store_renders=False)
+        assert len(db["metadata"]) == len(archive)
+        assert len(db["image_data"]) == 0
+
+
+class TestRendering:
+    def test_percentile_stretch_range(self, rng):
+        out = percentile_stretch(rng.random((30, 30)) * 0.2)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_percentile_stretch_constant_band(self):
+        out = percentile_stretch(np.full((10, 10), 0.4))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_percentile_stretch_validation(self):
+        with pytest.raises(ValidationError):
+            percentile_stretch(np.zeros((4, 4)), lower=60, upper=50)
+
+    def test_render_rgb(self, archive):
+        rgb = render_rgb(archive[0])
+        assert rgb.shape == (120, 120, 3)
+        assert rgb.dtype == np.uint8
+        assert rgb.max() > 100  # stretched to use the range
+
+    def test_render_false_color_vegetation_red(self):
+        from repro.bigearthnet import SyntheticArchive
+        from repro.config import ArchiveConfig
+        from repro.bigearthnet.synthesis import PatchSynthesizer
+        # A pure-forest patch: false color should be NIR-dominant (channel 0).
+        synth = PatchSynthesizer(ArchiveConfig(num_patches=1))
+        s2, s1 = synth.synthesize(("Broad-leaved forest",), "Summer", 0)
+        patch = SyntheticArchive.generate(ArchiveConfig(num_patches=1, seed=0))[0]
+        patch.s2_bands.update(s2)
+        out = render_false_color(patch)
+        assert out.shape == (120, 120, 3)
+
+
+class TestLabelStatistics:
+    DOCS = [
+        {"name": "a", "properties": {"labels": ["Pastures", "Water bodies"]}},
+        {"name": "b", "properties": {"labels": ["Pastures"]}},
+        {"name": "c", "properties": {"labels": ["Sea and ocean"]}},
+    ]
+
+    def test_counts(self):
+        stats = label_statistics(self.DOCS)
+        assert stats.total_images == 3
+        assert stats.counts == {"Pastures": 2, "Water bodies": 1, "Sea and ocean": 1}
+
+    def test_sorted_by_count_then_name(self):
+        stats = label_statistics(self.DOCS)
+        assert stats.labels[0] == "Pastures"
+        assert stats.labels[1:] == sorted(stats.labels[1:])
+
+    def test_colors_attached(self):
+        stats = label_statistics(self.DOCS)
+        for bar in stats:
+            assert bar.color.startswith("#")
+
+    def test_dominant(self):
+        stats = label_statistics(self.DOCS)
+        assert stats.dominant(1) == ["Pastures"]
+        with pytest.raises(ValidationError):
+            stats.dominant(0)
+
+    def test_empty_input(self):
+        stats = label_statistics([])
+        assert stats.total_images == 0
+        assert len(stats) == 0
+
+    def test_as_rows(self):
+        rows = label_statistics(self.DOCS).as_rows()
+        assert rows[0][0] == "Pastures" and rows[0][1] == 2
+
+
+class TestMarkers:
+    def test_marker_validation(self):
+        with pytest.raises(GeoError):
+            Marker("x", 200.0, 0.0)
+
+    def test_markers_from_documents(self):
+        docs = [{"name": "a", "location": {"bbox": [10.0, 50.0, 10.2, 50.2]}},
+                {"name": "b"}]  # second has no geometry
+        markers = markers_from_documents(docs)
+        assert len(markers) == 1
+        assert markers[0].lon == pytest.approx(10.1)
+
+    def test_count_conservation(self, rng):
+        markers = [Marker(f"m{i}", float(rng.uniform(-10, 10)),
+                          float(rng.uniform(40, 60))) for i in range(500)]
+        for zoom in (2, 6, 10, 15):
+            clusters = MarkerClusterer(zoom).cluster(markers)
+            assert sum(c.count for c in clusters) == 500
+
+    def test_zoom_monotonicity(self, rng):
+        markers = [Marker(f"m{i}", float(rng.uniform(-10, 10)),
+                          float(rng.uniform(40, 60))) for i in range(300)]
+        counts = [len(MarkerClusterer(z).cluster(markers)) for z in (1, 5, 9, 13)]
+        assert counts == sorted(counts), "more zoom -> more (or equal) clusters"
+
+    def test_high_zoom_all_singletons(self):
+        markers = [Marker("a", 10.0, 50.0), Marker("b", 11.0, 51.0)]
+        clusters = MarkerClusterer(19).cluster(markers)
+        assert all(c.is_singleton for c in clusters)
+        assert len(clusters) == 2
+
+    def test_cluster_centroid(self):
+        markers = [Marker("a", 10.0, 50.0), Marker("b", 10.001, 50.001)]
+        clusters = MarkerClusterer(5).cluster(markers)
+        assert len(clusters) == 1
+        assert clusters[0].lon == pytest.approx(10.0005)
+
+    def test_zoom_validation(self):
+        with pytest.raises(ValidationError):
+            MarkerClusterer(-1)
+        with pytest.raises(ValidationError):
+            MarkerClusterer(5, grid_px=0)
+
+
+class TestCart:
+    def test_add_and_dedup(self):
+        cart = DownloadCart()
+        assert cart.add("a")
+        assert not cart.add("a")
+        assert len(cart) == 1 and "a" in cart
+
+    def test_add_page_limit_enforced(self):
+        cart = DownloadCart(page_limit=50)
+        cart.add_page([f"p{i}" for i in range(50)])
+        assert len(cart) == 50
+        with pytest.raises(CartError):
+            cart.add_page([f"q{i}" for i in range(51)])
+
+    def test_combines_multiple_searches(self):
+        cart = DownloadCart()
+        cart.add_page(["a", "b"])
+        cart.add_page(["b", "c"])
+        assert cart.names == ["a", "b", "c"]
+
+    def test_remove_and_clear(self):
+        cart = DownloadCart()
+        cart.add_page(["a", "b"])
+        assert cart.remove("a")
+        assert not cart.remove("a")
+        cart.clear()
+        assert len(cart) == 0
+
+    def test_download_empties_cart(self):
+        cart = DownloadCart()
+        cart.add_page(["a", "b"])
+        assert cart.download() == ["a", "b"]
+        assert len(cart) == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CartError):
+            DownloadCart().add("")
+
+
+class TestFeedback:
+    @pytest.fixture()
+    def service(self):
+        return FeedbackService(Database.earthqube_schema())
+
+    def test_submit_and_count(self, service):
+        service.submit("Great demo!")
+        service.submit("Found a bug", category="bug")
+        assert service.count() == 2
+
+    def test_recent_ordering(self, service):
+        for i in range(3):
+            service.submit(f"comment {i}")
+        recent = service.recent(2)
+        assert len(recent) == 2
+        assert recent[0]["text"] == "comment 2"
+
+    def test_anonymous_no_user_field(self, service):
+        service.submit("hello")
+        doc = service.recent(1)[0]
+        assert set(doc.keys()) == {"text", "category", "submitted_at"}
+
+    def test_validation(self, service):
+        with pytest.raises(ValidationError):
+            service.submit("   ")
+        with pytest.raises(ValidationError):
+            service.submit("x" * 5000)
+        with pytest.raises(ValidationError):
+            service.submit("ok", category="rant")
+        with pytest.raises(ValidationError):
+            service.recent(0)

@@ -1,0 +1,166 @@
+"""Tests for repro.geo.bbox."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeoError
+from repro.geo import BoundingBox
+
+
+def make_box(west=-10.0, south=40.0, east=10.0, north=50.0):
+    return BoundingBox(west=west, south=south, east=east, north=north)
+
+
+class TestConstruction:
+    def test_valid_box(self):
+        box = make_box()
+        assert box.west == -10.0 and box.north == 50.0
+
+    def test_point_box_is_allowed(self):
+        box = BoundingBox(west=5.0, south=5.0, east=5.0, north=5.0)
+        assert box.area_deg2 == 0.0
+
+    def test_west_greater_than_east_rejected(self):
+        with pytest.raises(GeoError):
+            BoundingBox(west=10.0, south=0.0, east=-10.0, north=5.0)
+
+    def test_south_greater_than_north_rejected(self):
+        with pytest.raises(GeoError):
+            BoundingBox(west=0.0, south=10.0, east=5.0, north=-10.0)
+
+    def test_longitude_out_of_range_rejected(self):
+        with pytest.raises(GeoError):
+            BoundingBox(west=-181.0, south=0.0, east=0.0, north=1.0)
+
+    def test_latitude_out_of_range_rejected(self):
+        with pytest.raises(GeoError):
+            BoundingBox(west=0.0, south=-91.0, east=1.0, north=0.0)
+
+    def test_from_center(self):
+        box = BoundingBox.from_center(10.0, 45.0, 2.0, 4.0)
+        assert box.west == pytest.approx(9.0)
+        assert box.east == pytest.approx(11.0)
+        assert box.south == pytest.approx(43.0)
+        assert box.north == pytest.approx(47.0)
+
+    def test_from_center_clamps_to_valid_range(self):
+        box = BoundingBox.from_center(179.5, 89.5, 2.0, 2.0)
+        assert box.east == 180.0
+        assert box.north == 90.0
+
+    def test_from_center_negative_extent_rejected(self):
+        with pytest.raises(GeoError):
+            BoundingBox.from_center(0.0, 0.0, -1.0, 1.0)
+
+
+class TestGeometry:
+    def test_center(self):
+        assert make_box().center == (0.0, 45.0)
+
+    def test_width_height_area(self):
+        box = make_box()
+        assert box.width == 20.0
+        assert box.height == 10.0
+        assert box.area_deg2 == 200.0
+
+    def test_contains_point_inside(self):
+        assert make_box().contains_point(0.0, 45.0)
+
+    def test_contains_point_on_boundary(self):
+        assert make_box().contains_point(-10.0, 40.0)
+
+    def test_contains_point_outside(self):
+        assert not make_box().contains_point(11.0, 45.0)
+
+    def test_contains_bbox(self):
+        inner = BoundingBox(west=-5.0, south=42.0, east=5.0, north=48.0)
+        assert make_box().contains_bbox(inner)
+        assert not inner.contains_bbox(make_box())
+
+    def test_intersects_overlapping(self):
+        other = BoundingBox(west=5.0, south=45.0, east=15.0, north=55.0)
+        assert make_box().intersects(other)
+        assert other.intersects(make_box())
+
+    def test_intersects_touching_edge(self):
+        other = BoundingBox(west=10.0, south=40.0, east=20.0, north=50.0)
+        assert make_box().intersects(other)
+
+    def test_intersects_disjoint(self):
+        other = BoundingBox(west=20.0, south=40.0, east=30.0, north=50.0)
+        assert not make_box().intersects(other)
+
+    def test_intersection_shape(self):
+        other = BoundingBox(west=0.0, south=45.0, east=20.0, north=55.0)
+        overlap = make_box().intersection(other)
+        assert overlap == BoundingBox(west=0.0, south=45.0, east=10.0, north=50.0)
+
+    def test_intersection_disjoint_is_none(self):
+        other = BoundingBox(west=50.0, south=40.0, east=60.0, north=50.0)
+        assert make_box().intersection(other) is None
+
+    def test_union_covers_both(self):
+        other = BoundingBox(west=30.0, south=30.0, east=40.0, north=42.0)
+        union = make_box().union(other)
+        assert union.contains_bbox(make_box())
+        assert union.contains_bbox(other)
+
+    def test_expand(self):
+        grown = make_box().expand(1.0)
+        assert grown.west == -11.0 and grown.north == 51.0
+
+    def test_expand_negative_rejected(self):
+        with pytest.raises(GeoError):
+            make_box().expand(-0.1)
+
+    def test_expand_clamps(self):
+        box = BoundingBox(west=-179.5, south=-89.5, east=179.5, north=89.5)
+        grown = box.expand(10.0)
+        assert grown.as_tuple() == (-180.0, -90.0, 180.0, 90.0)
+
+
+class TestSerialization:
+    def test_tuple_roundtrip(self):
+        box = make_box()
+        assert BoundingBox.from_tuple(box.as_tuple()) == box
+
+    def test_from_tuple_wrong_length(self):
+        with pytest.raises(GeoError):
+            BoundingBox.from_tuple((1.0, 2.0, 3.0))
+
+    def test_geojson_ring_is_closed(self):
+        geo = make_box().to_geojson()
+        ring = geo["coordinates"][0]
+        assert geo["type"] == "Polygon"
+        assert ring[0] == ring[-1]
+        assert len(ring) == 5
+
+
+@given(
+    lon=st.floats(min_value=-170, max_value=170),
+    lat=st.floats(min_value=-80, max_value=80),
+    w=st.floats(min_value=0.01, max_value=10),
+    h=st.floats(min_value=0.01, max_value=10),
+)
+def test_property_center_box_contains_its_center(lon, lat, w, h):
+    box = BoundingBox.from_center(lon, lat, w, h)
+    clon, clat = box.center
+    assert box.contains_point(clon, clat)
+
+
+@given(
+    west=st.floats(min_value=-100, max_value=0),
+    south=st.floats(min_value=-50, max_value=0),
+    dw=st.floats(min_value=0, max_value=50),
+    dh=st.floats(min_value=0, max_value=40),
+)
+def test_property_intersection_is_commutative_and_contained(west, south, dw, dh):
+    a = BoundingBox(west=west, south=south, east=west + dw, north=south + dh)
+    b = BoundingBox(west=west + dw / 2, south=south + dh / 2,
+                    east=west + dw / 2 + 10, north=south + dh / 2 + 10)
+    inter_ab = a.intersection(b)
+    inter_ba = b.intersection(a)
+    assert inter_ab == inter_ba
+    if inter_ab is not None:
+        assert a.contains_bbox(inter_ab)
+        assert b.contains_bbox(inter_ab)

@@ -1,0 +1,153 @@
+"""Tests for repro.geo.geohash (including hypothesis roundtrips)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeoError
+from repro.geo import BoundingBox, cover_bbox, decode, decode_bbox, encode, neighbors
+from repro.geo.geohash import cell_size
+
+
+class TestKnownValues:
+    """Anchor against well-known public geohash examples."""
+
+    def test_encode_jutland(self):
+        # The canonical example from the original geohash documentation.
+        assert encode(-5.6, 42.6, 5) == "ezs42"
+
+    def test_encode_berlin(self):
+        assert encode(13.4050, 52.5200, 6) == "u33dc0"
+
+    def test_decode_contains_original_point(self):
+        box = decode_bbox("ezs42")
+        assert box.contains_point(-5.6, 42.6)
+
+    def test_single_char_cells_tile_the_world(self):
+        box = decode_bbox("s")
+        assert box.width == pytest.approx(45.0)
+        assert box.height == pytest.approx(45.0)
+
+
+class TestValidation:
+    def test_bad_precision(self):
+        with pytest.raises(GeoError):
+            encode(0.0, 0.0, 0)
+        with pytest.raises(GeoError):
+            encode(0.0, 0.0, 13)
+
+    def test_bad_longitude(self):
+        with pytest.raises(GeoError):
+            encode(181.0, 0.0, 5)
+
+    def test_bad_latitude(self):
+        with pytest.raises(GeoError):
+            encode(0.0, 91.0, 5)
+
+    def test_decode_empty(self):
+        with pytest.raises(GeoError):
+            decode_bbox("")
+
+    def test_decode_invalid_character(self):
+        # 'a' is not in the geohash base-32 alphabet.
+        with pytest.raises(GeoError):
+            decode_bbox("ua")
+
+
+class TestNeighbors:
+    def test_eight_neighbors_inland(self):
+        result = neighbors("u33dc")
+        assert set(result) == {"n", "s", "e", "w", "ne", "nw", "se", "sw"}
+
+    def test_neighbors_are_adjacent_cells(self):
+        center = decode_bbox("u33dc")
+        for direction, cell in neighbors("u33dc").items():
+            box = decode_bbox(cell)
+            assert box.width == pytest.approx(center.width)
+            # neighbor boxes touch the center box
+            assert center.expand(1e-9).intersects(box)
+
+    def test_neighbors_at_north_pole_missing_north(self):
+        top_cell = encode(0.0, 89.99, 4)
+        result = neighbors(top_cell)
+        assert "n" not in result
+        assert "s" in result
+
+    def test_neighbors_distinct(self):
+        result = neighbors("ezs42")
+        assert len(set(result.values())) == len(result)
+
+
+class TestCellSize:
+    def test_precision_5_cell_size(self):
+        width, height = cell_size(5)
+        # ~0.044 degrees at precision 5
+        assert width == pytest.approx(360.0 / 2 ** 13)
+        assert height == pytest.approx(180.0 / 2 ** 12)
+
+    def test_sizes_shrink_with_precision(self):
+        for p in range(1, 12):
+            w1, h1 = cell_size(p)
+            w2, h2 = cell_size(p + 1)
+            assert w2 < w1 and h2 < h1
+
+
+class TestCoverBbox:
+    def test_cover_contains_cell_of_every_corner(self):
+        box = BoundingBox(west=13.0, south=52.0, east=13.5, north=52.3)
+        cover = set(cover_bbox(box, 4))
+        for lon, lat in [(13.0, 52.0), (13.5, 52.0), (13.0, 52.3), (13.5, 52.3)]:
+            assert encode(lon, lat, 4) in cover
+
+    def test_cover_cells_all_intersect_box(self):
+        box = BoundingBox(west=-9.0, south=38.0, east=-8.5, north=38.4)
+        for cell in cover_bbox(box, 5):
+            assert decode_bbox(cell).intersects(box)
+
+    def test_tiny_box_single_cell(self):
+        box = BoundingBox(west=10.0, south=50.0, east=10.001, north=50.001)
+        cover = cover_bbox(box, 4)
+        assert len(cover) == 1
+
+    def test_cover_exceeding_max_cells_raises(self):
+        world = BoundingBox(west=-180, south=-90, east=180, north=90)
+        with pytest.raises(GeoError):
+            cover_bbox(world, 6, max_cells=100)
+
+    def test_cover_unique(self):
+        box = BoundingBox(west=5.0, south=45.0, east=7.0, north=46.5)
+        cover = cover_bbox(box, 3)
+        assert len(cover) == len(set(cover))
+
+
+@given(
+    lon=st.floats(min_value=-180, max_value=180),
+    lat=st.floats(min_value=-90, max_value=90),
+    precision=st.integers(min_value=1, max_value=9),
+)
+def test_property_decode_cell_contains_encoded_point(lon, lat, precision):
+    cell = encode(lon, lat, precision)
+    assert len(cell) == precision
+    assert decode_bbox(cell).contains_point(lon, lat)
+
+
+@given(
+    lon=st.floats(min_value=-179, max_value=179),
+    lat=st.floats(min_value=-89, max_value=89),
+    precision=st.integers(min_value=4, max_value=8),
+)
+def test_property_encode_decode_encode_is_stable(lon, lat, precision):
+    cell = encode(lon, lat, precision)
+    center_lon, center_lat = decode(cell)
+    assert encode(center_lon, center_lat, precision) == cell
+
+
+@settings(max_examples=40)
+@given(
+    lon=st.floats(min_value=-170, max_value=169),
+    lat=st.floats(min_value=-80, max_value=79),
+    precision=st.integers(min_value=3, max_value=6),
+)
+def test_property_cover_includes_center_cell(lon, lat, precision):
+    box = BoundingBox.from_center(lon, lat, 0.5, 0.5)
+    cover = cover_bbox(box, precision, max_cells=8192)
+    assert encode(*box.center, precision) in cover

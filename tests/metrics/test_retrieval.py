@@ -1,0 +1,117 @@
+"""Tests for the retrieval metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError, ValidationError
+from repro.metrics import (
+    average_cumulative_gain,
+    mean_average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    weighted_average_precision,
+)
+
+
+class TestPrecisionRecall:
+    def test_precision_values(self):
+        rel = np.array([1, 1, 0, 1, 0])
+        assert precision_at_k(rel, 1) == 1.0
+        assert precision_at_k(rel, 3) == pytest.approx(2 / 3)
+        assert precision_at_k(rel, 5) == pytest.approx(3 / 5)
+
+    def test_precision_k_beyond_length(self):
+        assert precision_at_k(np.array([1, 0]), 10) == 0.5
+
+    def test_precision_k_validation(self):
+        with pytest.raises(ValidationError):
+            precision_at_k(np.array([1.0]), 0)
+        with pytest.raises(ShapeError):
+            precision_at_k(np.ones((2, 2)), 1)
+
+    def test_recall_values(self):
+        rel = np.array([1, 0, 1, 0, 0])
+        assert recall_at_k(rel, 1, total_relevant=4) == pytest.approx(0.25)
+        assert recall_at_k(rel, 5, total_relevant=4) == pytest.approx(0.5)
+
+    def test_recall_zero_relevant(self):
+        assert recall_at_k(np.array([0, 0]), 2, total_relevant=0) == 0.0
+
+    def test_recall_validation(self):
+        with pytest.raises(ValidationError):
+            recall_at_k(np.array([1.0]), 1, total_relevant=-1)
+
+
+class TestMAP:
+    def test_perfect_ranking(self):
+        assert mean_average_precision([np.array([1, 1, 0, 0])]) == 1.0
+
+    def test_worst_ranking(self):
+        score = mean_average_precision([np.array([0, 0, 1])])
+        assert score == pytest.approx(1 / 3)
+
+    def test_known_value(self):
+        # hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        score = mean_average_precision([np.array([1, 0, 1, 0])])
+        assert score == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_multiple_queries_averaged(self):
+        q1 = np.array([1, 0])   # AP = 1.0
+        q2 = np.array([0, 1])   # AP = 0.5
+        assert mean_average_precision([q1, q2]) == pytest.approx(0.75)
+
+    def test_no_relevant_contributes_zero(self):
+        assert mean_average_precision([np.array([0, 0, 0])]) == 0.0
+
+    def test_at_k_cutoff(self):
+        rel = np.array([0, 0, 0, 1])
+        assert mean_average_precision([rel], k=3) == 0.0
+        assert mean_average_precision([rel], k=4) == pytest.approx(0.25)
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_average_precision([])
+
+
+class TestGradedMetrics:
+    def test_acg(self):
+        rel = np.array([1.0, 0.5, 0.0, 0.0])
+        assert average_cumulative_gain(rel, 2) == pytest.approx(0.75)
+
+    def test_ndcg_perfect_order_is_one(self):
+        rel = np.array([1.0, 0.8, 0.3, 0.0])
+        assert ndcg_at_k(rel, 4) == pytest.approx(1.0)
+
+    def test_ndcg_penalizes_bad_order(self):
+        good = np.array([1.0, 0.5, 0.0])
+        bad = np.array([0.0, 0.5, 1.0])
+        assert ndcg_at_k(bad, 3) < ndcg_at_k(good, 3)
+
+    def test_ndcg_no_relevance_zero(self):
+        assert ndcg_at_k(np.zeros(5), 5) == 0.0
+
+    def test_wap_rewards_graded_prefix(self):
+        high = weighted_average_precision(np.array([1.0, 1.0, 0.0]))
+        low = weighted_average_precision(np.array([0.2, 0.2, 0.0]))
+        assert high > low
+
+    def test_wap_no_hits_zero(self):
+        assert weighted_average_precision(np.zeros(4)) == 0.0
+
+
+@given(st.lists(st.sampled_from([0.0, 0.5, 1.0]), min_size=1, max_size=20))
+def test_property_metrics_bounded(rel):
+    rel = np.array(rel)
+    k = len(rel)
+    assert 0.0 <= precision_at_k(rel, k) <= 1.0
+    assert 0.0 <= ndcg_at_k(rel, k) <= 1.0 + 1e-9
+    assert 0.0 <= mean_average_precision([rel]) <= 1.0
+
+
+@given(st.lists(st.sampled_from([0.0, 1.0]), min_size=2, max_size=15))
+def test_property_sorting_relevances_maximizes_map(rel):
+    rel = np.array(rel)
+    sorted_rel = np.sort(rel)[::-1]
+    assert mean_average_precision([sorted_rel]) >= mean_average_precision([rel]) - 1e-12

@@ -1,0 +1,259 @@
+"""Autograd correctness: ops, broadcasting, and numeric gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError, ValidationError
+from repro.nn import Tensor, no_grad
+from repro.nn.tensor import stack_tensors
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued f at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = f(x)
+        x[idx] = original - eps
+        f_minus = f(x)
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(op, x: np.ndarray, atol: float = 1e-5):
+    """Compare autograd and numeric gradients of `op` (tensor -> scalar)."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t)
+    out.backward()
+    numeric = numeric_gradient(lambda arr: op(Tensor(arr)).item(), x.copy())
+    np.testing.assert_allclose(t.grad, numeric, atol=atol)
+
+
+class TestBasicOps:
+    def test_add_backward(self, rng):
+        check_gradient(lambda t: (t + 3.0).sum(), rng.standard_normal((3, 4)))
+
+    def test_mul_backward(self, rng):
+        check_gradient(lambda t: (t * t).sum(), rng.standard_normal((3, 4)))
+
+    def test_div_backward(self, rng):
+        x = rng.standard_normal((3, 4)) + 5.0
+        check_gradient(lambda t: (1.0 / t).sum(), x)
+
+    def test_sub_and_rsub(self, rng):
+        check_gradient(lambda t: (5.0 - t).sum(), rng.standard_normal((2, 3)))
+
+    def test_pow_backward(self, rng):
+        x = np.abs(rng.standard_normal((3, 3))) + 0.5
+        check_gradient(lambda t: (t ** 3).sum(), x)
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(ValidationError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_neg(self, rng):
+        check_gradient(lambda t: (-t).sum(), rng.standard_normal((4,)))
+
+    def test_matmul_backward_both_sides(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        (ta @ tb).sum().backward()
+        na = numeric_gradient(lambda arr: float((arr @ b).sum()), a.copy())
+        nb = numeric_gradient(lambda arr: float((a @ arr).sum()), b.copy())
+        np.testing.assert_allclose(ta.grad, na, atol=1e-5)
+        np.testing.assert_allclose(tb.grad, nb, atol=1e-5)
+
+    def test_matmul_vector_cases(self, rng):
+        v = Tensor(rng.standard_normal(4), requires_grad=True)
+        m = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        out = (v @ m).sum()
+        out.backward()
+        assert v.grad.shape == (4,)
+        assert m.grad.shape == (4, 3)
+
+    def test_matmul_3d_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.zeros((2, 2, 2))) @ Tensor(np.zeros((2, 2)))
+
+
+class TestNonlinearities:
+    def test_relu_backward(self, rng):
+        x = rng.standard_normal((5, 5)) + 0.1  # avoid the kink
+        check_gradient(lambda t: t.relu().sum(), x)
+
+    def test_tanh_backward(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), rng.standard_normal((4, 4)))
+
+    def test_sigmoid_backward(self, rng):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.standard_normal((4, 4)))
+
+    def test_exp_log_backward(self, rng):
+        x = np.abs(rng.standard_normal((3, 3))) + 0.5
+        check_gradient(lambda t: t.exp().sum(), x)
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_abs_backward(self, rng):
+        x = rng.standard_normal((4, 4))
+        x[np.abs(x) < 0.05] = 0.5  # keep away from the kink
+        check_gradient(lambda t: t.abs().sum(), x)
+
+    def test_sqrt_backward(self, rng):
+        x = np.abs(rng.standard_normal((3, 3))) + 0.5
+        check_gradient(lambda t: t.sqrt().sum(), x)
+
+    def test_maximum_backward(self, rng):
+        x = rng.standard_normal((4, 4))
+        x[np.abs(x - 0.2) < 0.05] = 1.0
+        check_gradient(lambda t: t.maximum(0.2).sum(), x)
+
+    def test_clip_values_and_grad_mask(self):
+        t = Tensor(np.array([-2.0, 0.0, 2.0]), requires_grad=True)
+        out = t.clip(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.0, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShaping:
+    def test_sum_axis_backward(self, rng):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), rng.standard_normal((3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        t = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((3, 4)))
+
+    def test_mean_backward(self, rng):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), rng.standard_normal((3, 4)))
+
+    def test_mean_global(self, rng):
+        t = Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 5), 1 / 10))
+
+    def test_reshape_roundtrip_gradient(self, rng):
+        check_gradient(lambda t: (t.reshape(6) ** 2).sum(), rng.standard_normal((2, 3)))
+
+    def test_transpose_gradient(self, rng):
+        check_gradient(lambda t: (t.T @ Tensor(np.ones((2, 2)))).sum(),
+                       rng.standard_normal((2, 3)))
+
+    def test_getitem_gradient(self, rng):
+        x = rng.standard_normal((5, 3))
+        t = Tensor(x.copy(), requires_grad=True)
+        (t[1:3] ** 2).sum().backward()
+        expected = np.zeros_like(x)
+        expected[1:3] = 2 * x[1:3]
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_stack_tensors_gradient(self, rng):
+        a = Tensor(rng.standard_normal(3), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        stack_tensors([a, b]).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            stack_tensors([])
+
+
+class TestBroadcasting:
+    def test_row_broadcast_add(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_column_broadcast_mul(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (3, 1)
+        np.testing.assert_allclose(b.grad[:, 0], a.data.sum(axis=1))
+
+    def test_scalar_broadcast(self, rng):
+        a = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        (a * 3.0 + 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 3.0))
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_across_uses(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        ((t * t) + t).backward()  # d/dt (t^2 + t) = 2t + 1 = 5
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        a = t * 2.0
+        b = t * 4.0
+        (a * b).backward()  # d/dt 8 t^2 = 16 t = 48
+        np.testing.assert_allclose(t.grad, [48.0])
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(ValidationError):
+            Tensor(np.ones(2)).sum().backward()
+
+    def test_backward_on_nonscalar_needs_gradient(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ShapeError):
+            (t * 2).backward()
+        (t * 2).backward(np.ones(3))
+        np.testing.assert_allclose(t.grad, [2.0, 2.0, 2.0])
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_item_requires_single_element(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.ones(3)).item()
+        assert Tensor(np.array([7.0])).item() == 7.0
+
+    def test_deep_chain_no_recursion_error(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=10_000))
+def test_property_composite_expression_gradient(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((rows, cols))
+
+    def op(t):
+        return ((t.tanh() * 2.0 + t.sigmoid()) ** 2).mean()
+
+    check_gradient(op, x, atol=1e-4)

@@ -1,0 +1,61 @@
+"""Tests for the query workload generator."""
+
+import pytest
+
+from repro.earthqube import LabelOperator, QuerySpec
+from repro.errors import ValidationError
+from repro.geo import Circle, Rectangle
+from repro.workloads import QueryWorkloadGenerator
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_given_seed(self):
+        a = QueryWorkloadGenerator(seed=4).batch(5, "label")
+        b = QueryWorkloadGenerator(seed=4).batch(5, "label")
+        assert [q.labels for q in a] == [q.labels for q in b]
+
+    def test_spatial_queries_have_shapes(self):
+        gen = QueryWorkloadGenerator(seed=0)
+        for query in gen.batch(10, "spatial"):
+            assert isinstance(query.shape, (Rectangle, Circle))
+            assert query.labels is None
+
+    def test_label_queries_valid(self):
+        gen = QueryWorkloadGenerator(seed=1)
+        for query in gen.batch(10, "label"):
+            assert query.labels is not None
+            assert 1 <= len(query.labels) <= 3
+            assert isinstance(query.label_operator, LabelOperator)
+
+    def test_mixed_queries_cover_panel(self):
+        gen = QueryWorkloadGenerator(seed=2)
+        queries = gen.batch(20, "mixed")
+        assert all(q.shape is not None for q in queries)
+        assert any(q.labels is not None for q in queries)
+        assert all(q.date_from == "2017-06-01" for q in queries)
+
+    def test_random_rectangle_within_bounds(self):
+        gen = QueryWorkloadGenerator(seed=3)
+        for _ in range(10):
+            rect = gen.random_rectangle(max_extent_deg=2.0)
+            assert rect.box.width <= 2.0 + 1e-9
+
+    def test_random_labels_count(self):
+        gen = QueryWorkloadGenerator(seed=5)
+        labels = gen.random_labels(count=2)
+        assert len(labels) == 2
+
+    def test_validation(self):
+        gen = QueryWorkloadGenerator(seed=0)
+        with pytest.raises(ValidationError):
+            gen.batch(0)
+        with pytest.raises(ValidationError):
+            gen.batch(3, "weird")
+        with pytest.raises(ValidationError):
+            gen.random_rectangle(max_extent_deg=0)
+
+    def test_generated_queries_run_against_system(self, system):
+        gen = QueryWorkloadGenerator(seed=9)
+        for query in gen.batch(6, "mixed"):
+            response = system.search(query)
+            assert response.total_matches >= 0
