@@ -9,7 +9,9 @@ The package implements the paper's full stack (see DESIGN.md):
   baselines (:mod:`repro.baselines`),
 * a MongoDB-style document store with geohash 2D indexing
   (:mod:`repro.store`, :mod:`repro.geo`),
-* the EarthQube search system itself (:mod:`repro.earthqube`).
+* the EarthQube search system itself (:mod:`repro.earthqube`),
+* a concurrent serving tier — sharded scatter-gather execution,
+  micro-batching, result caching, metrics (:mod:`repro.serving`).
 
 Quickstart::
 
@@ -28,6 +30,7 @@ from .config import (
     GeoIndexConfig,
     IndexConfig,
     MiLaNConfig,
+    ServingConfig,
     TrainConfig,
 )
 from .bigearthnet import SyntheticArchive
@@ -53,6 +56,7 @@ __all__ = [
     "TrainConfig",
     "IndexConfig",
     "GeoIndexConfig",
+    "ServingConfig",
     "ReproError",
     "__version__",
 ]

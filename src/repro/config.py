@@ -137,6 +137,45 @@ class IndexConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Query-serving tier settings (:mod:`repro.serving`).
+
+    Controls the scatter-gather shard layout, the micro-batch executor that
+    coalesces concurrent CBIR queries into one vectorized scan, and the
+    LRU+TTL result cache.  ``enabled`` is the single flag that routes
+    :class:`~repro.earthqube.server.EarthQube` queries through the
+    :class:`~repro.serving.gateway.ServingGateway` instead of the direct
+    single-threaded path.
+    """
+
+    enabled: bool = False
+    num_shards: int = 4
+    shard_backend: str = "linear"
+    mih_tables: int = 4
+    max_workers: "int | None" = None
+    batch_max_size: int = 16
+    batch_max_delay_ms: float = 2.0
+    scan_chunk_rows: int = 4096
+    cache_entries: int = 1024
+    cache_ttl_seconds: float = 300.0
+    histogram_window: int = 4096
+
+    def __post_init__(self) -> None:
+        _require(self.num_shards >= 1, f"num_shards must be >= 1, got {self.num_shards}")
+        _require(self.shard_backend in ("linear", "mih"),
+                 f"shard_backend must be 'linear' or 'mih', got {self.shard_backend!r}")
+        _require(self.mih_tables >= 1, "mih_tables must be >= 1")
+        _require(self.max_workers is None or self.max_workers >= 1,
+                 "max_workers must be None or >= 1")
+        _require(self.batch_max_size >= 1, "batch_max_size must be >= 1")
+        _require(self.batch_max_delay_ms >= 0.0, "batch_max_delay_ms must be >= 0")
+        _require(self.scan_chunk_rows >= 1, "scan_chunk_rows must be >= 1")
+        _require(self.cache_entries >= 0, "cache_entries must be >= 0")
+        _require(self.cache_ttl_seconds > 0.0, "cache_ttl_seconds must be positive")
+        _require(self.histogram_window >= 1, "histogram_window must be >= 1")
+
+
+@dataclass(frozen=True)
 class GeoIndexConfig:
     """Geohash 2D-index settings for the document store (data tier)."""
 
@@ -157,6 +196,7 @@ class EarthQubeConfig:
     train: TrainConfig = field(default_factory=TrainConfig)
     index: IndexConfig = field(default_factory=IndexConfig)
     geo_index: GeoIndexConfig = field(default_factory=GeoIndexConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
     max_rendered_images: int = 1000
     cart_page_limit: int = 50
 

@@ -168,3 +168,14 @@ class EarthQubeAPI:
     def describe(self) -> dict:
         """GET /describe — system summary."""
         return {"ok": True, **self.system.describe()}
+
+    def metrics(self) -> dict:
+        """GET /metrics — serving-tier observability snapshot.
+
+        Latency percentiles, QPS, cache hit ratios, and shard occupancy
+        when the serving tier is enabled; ``serving: null`` otherwise.
+        """
+        gateway = self.system.gateway
+        if gateway is None:
+            return {"ok": True, "serving": None}
+        return {"ok": True, "serving": gateway.metrics_snapshot()}

@@ -90,6 +90,19 @@ class CBIRService:
         except KeyError:
             raise UnknownPatchError(f"no indexed image named {name!r}") from None
 
+    def indexed_items(self) -> "tuple[list[str], np.ndarray]":
+        """Names and packed codes in insertion (index row) order.
+
+        The serving tier builds its sharded index from this snapshot; the
+        row order matches the retrieval index's insertion order, so both
+        tiers share the same deterministic (distance, row) tie-break.
+        """
+        names = list(self._code_by_name)
+        if not names:
+            words = -(-self.hasher.num_bits // 64)
+            return [], np.empty((0, words), dtype=np.uint64)
+        return names, np.stack([self._code_by_name[name] for name in names])
+
     def add_image(self, name: str, features: np.ndarray) -> np.ndarray:
         """Online ingestion: hash and index one new image.
 

@@ -21,7 +21,7 @@ import numpy as np
 from ..bigearthnet.archive import SyntheticArchive
 from ..bigearthnet.labels import LabelCharCodec
 from ..bigearthnet.patch import Patch
-from ..config import EarthQubeConfig
+from ..config import EarthQubeConfig, ServingConfig
 from ..core.hasher import MiLaNHasher
 from ..errors import UnknownPatchError, ValidationError
 from ..features.extractor import FeatureExtractor
@@ -52,6 +52,9 @@ class EarthQube:
         self.features = features
         self.search_service = SearchService(db, codec)
         self.feedback_service = FeedbackService(db)
+        # The optional serving tier (sharding + batching + caching); routed
+        # to by search/similar_images when enabled.  See repro.serving.
+        self.gateway = None
 
     # ------------------------------------------------------------------ #
     # Bootstrap
@@ -87,8 +90,35 @@ class EarthQube:
         log("hashing archive and building the Hamming index ...")
         cbir = CBIRService(hasher, extractor, config.index)
         cbir.build(archive.names, features)
+        system = cls(config, archive, db, codec, extractor, hasher, cbir, features)
+        if config.serving.enabled:
+            log(f"enabling serving tier ({config.serving.num_shards} shards) ...")
+            system.enable_serving()
         log("ready")
-        return cls(config, archive, db, codec, extractor, hasher, cbir, features)
+        return system
+
+    # ------------------------------------------------------------------ #
+    # Serving tier (repro.serving): concurrent sharded query execution
+    # ------------------------------------------------------------------ #
+
+    def enable_serving(self, config: "ServingConfig | None" = None):
+        """Route queries through a :class:`~repro.serving.ServingGateway`.
+
+        Uses ``self.config.serving`` unless an explicit config is given.
+        Returns the gateway (also available as ``self.gateway``).
+        """
+        from ..serving.gateway import ServingGateway
+
+        if self.gateway is not None:
+            self.gateway.close()
+        self.gateway = ServingGateway(self, config)
+        return self.gateway
+
+    def disable_serving(self) -> None:
+        """Tear down the serving tier and fall back to the direct path."""
+        if self.gateway is not None:
+            self.gateway.close()
+            self.gateway = None
 
     # ------------------------------------------------------------------ #
     # Query panel / result panel services
@@ -96,6 +126,8 @@ class EarthQube:
 
     def search(self, spec: QuerySpec) -> SearchResponse:
         """Execute a query-panel search."""
+        if self.gateway is not None:
+            return self.gateway.search(spec)
         return self.search_service.search(spec)
 
     def count(self, spec: QuerySpec) -> int:
@@ -108,11 +140,15 @@ class EarthQube:
         images' button)."""
         if radius is None and k is None:
             radius = self.config.index.hamming_radius
+        if self.gateway is not None:
+            return self.gateway.similar_images(name, k=k, radius=radius)
         return self.cbir.query_by_name(name, k=k, radius=radius)
 
     def similar_to_new_image(self, patch: Patch, *, k: "int | None" = 10,
                              radius: "int | None" = None) -> SimilarityResponse:
         """CBIR from an uploaded image (query-by-new-example)."""
+        if self.gateway is not None:
+            return self.gateway.similar_to_new_image(patch, k=k, radius=radius)
         return self.cbir.query_by_patch(patch, k=k, radius=radius)
 
     def documents_for(self, names: "list[str]") -> list[dict]:
@@ -217,7 +253,9 @@ class EarthQube:
             self.db[RENDERED_IMAGES].insert_one(rendered_image_document(stored))
 
         features = self.extractor.extract(stored)
-        self.cbir.add_image(stored.name, features)
+        code = self.cbir.add_image(stored.name, features)
+        if self.gateway is not None:
+            self.gateway.on_ingest(stored.name, code)
         self.features = np.vstack([self.features, features[None, :]])
         self.archive.patches.append(stored)
         self.archive._by_name[stored.name] = stored
@@ -231,7 +269,7 @@ class EarthQube:
 
     def describe(self) -> dict:
         """System summary (sizes, code length, index settings)."""
-        return {
+        summary = {
             "archive_patches": len(self.archive),
             "feature_dimension": self.extractor.dimension,
             "code_bits": self.hasher.num_bits,
@@ -240,3 +278,6 @@ class EarthQube:
             "collections": self.db.collection_names(),
             "metadata_documents": len(self.db[METADATA]),
         }
+        summary["serving"] = (self.gateway.describe()
+                              if self.gateway is not None else None)
+        return summary

@@ -20,6 +20,7 @@ from .hamming import (
     hamming_distance,
     hamming_distances_to_query,
     pairwise_hamming,
+    top_k_smallest,
 )
 from .hashtable import HashTableIndex
 from .linear_scan import LinearScanIndex
@@ -33,6 +34,7 @@ __all__ = [
     "hamming_distance",
     "hamming_distances_to_query",
     "pairwise_hamming",
+    "top_k_smallest",
     "HashTableIndex",
     "MultiIndexHashing",
     "LinearScanIndex",

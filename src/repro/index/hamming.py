@@ -39,19 +39,31 @@ def hamming_distances_to_query(codes: np.ndarray, query: np.ndarray) -> np.ndarr
     return np.bitwise_count(codes ^ query[None, :]).sum(axis=1).astype(np.int64)
 
 
-def pairwise_hamming(codes_a: np.ndarray, codes_b: "np.ndarray | None" = None) -> np.ndarray:
+def pairwise_hamming(codes_a: np.ndarray, codes_b: "np.ndarray | None" = None,
+                     *, chunk_rows: "int | None" = None) -> np.ndarray:
     """``(Na, Nb)`` distance matrix between two packed code sets.
 
     With one argument, the symmetric self-distance matrix.  Memory is
-    ``Na * Nb * W`` words during the XOR; intended for evaluation-sized
-    inputs, not the full archive.
+    ``Na * Nb * W`` words during the XOR.  For large code sets pass
+    ``chunk_rows``: rows of ``codes_a`` are processed in blocks of that
+    size, bounding peak memory at ``chunk_rows * Nb * W`` words while
+    producing the exact same matrix.
     """
     a = _as_words(codes_a, "codes_a")
     b = a if codes_b is None else _as_words(codes_b, "codes_b")
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
         raise ShapeError(f"expected (Na, W) and (Nb, W), got {a.shape} and {b.shape}")
-    xor = a[:, None, :] ^ b[None, :, :]
-    return np.bitwise_count(xor).sum(axis=2).astype(np.int64)
+    if chunk_rows is not None and chunk_rows <= 0:
+        raise ShapeError(f"chunk_rows must be positive, got {chunk_rows}")
+    if chunk_rows is None or chunk_rows >= a.shape[0]:
+        xor = a[:, None, :] ^ b[None, :, :]
+        return np.bitwise_count(xor).sum(axis=2).astype(np.int64)
+    out = np.empty((a.shape[0], b.shape[0]), dtype=np.int64)
+    for start in range(0, a.shape[0], chunk_rows):
+        block = a[start:start + chunk_rows]
+        xor = block[:, None, :] ^ b[None, :, :]
+        out[start:start + chunk_rows] = np.bitwise_count(xor).sum(axis=2)
+    return out
 
 
 def top_k_smallest(distances: np.ndarray, k: int) -> np.ndarray:

@@ -1,0 +1,173 @@
+"""Micro-batching executor: coalesce concurrent queries into one scan.
+
+Under concurrent load, per-query fixed costs (Python dispatch, one kernel
+launch per query) dominate a Hamming scan.  The :class:`MicroBatcher`
+exploits that queries are *combinable*: requests submitted concurrently
+are queued, and a single worker thread drains up to ``max_batch_size`` of
+them into one call of the supplied ``execute_batch`` function — for the
+sharded index that is one vectorized distance-matrix scan covering every
+query in the batch (see :meth:`ShardedHammingIndex.search_batch`).
+
+The first request in an empty queue waits at most ``max_wait_s`` for
+company before the batch is dispatched, so lightly-loaded latency is
+bounded while heavily-loaded throughput approaches the vectorized scan
+rate.  ``submit`` returns a :class:`concurrent.futures.Future`; callers
+block on ``result()`` exactly as if the query had run inline, and a batch
+function failure propagates to every member of the failed batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Sequence
+
+from ..errors import ValidationError
+
+
+class BatcherClosedError(RuntimeError):
+    """Submit was called on a batcher after :meth:`MicroBatcher.close`."""
+
+
+class MicroBatcher:
+    """Queue + single worker thread that executes requests in batches."""
+
+    def __init__(self, execute_batch: "Callable[[list[Any]], Sequence[Any]]",
+                 *, max_batch_size: int = 16, max_wait_s: float = 0.002,
+                 name: str = "microbatch") -> None:
+        if max_batch_size < 1:
+            raise ValidationError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_s < 0.0:
+            raise ValidationError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self._execute_batch = execute_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        self._queue: deque[tuple[Any, Future]] = deque()
+        self._closed = False
+        # Stats (read via .stats; written only by the worker/submitters
+        # under the lock).
+        self._num_batches = 0
+        self._num_requests = 0
+        self._largest_batch = 0
+        self._worker = threading.Thread(target=self._run, name=name, daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Any) -> "Future[Any]":
+        """Enqueue one request; the Future resolves to its result."""
+        future: "Future[Any]" = Future()
+        with self._lock:
+            if self._closed:
+                raise BatcherClosedError("submit on a closed MicroBatcher")
+            self._num_requests += 1
+            self._queue.append((request, future))
+            self._has_work.notify()
+        return future
+
+    def submit_many(self, requests: Sequence[Any]) -> "list[Future[Any]]":
+        """Enqueue several requests at once (they may share batches)."""
+        futures = [Future() for _ in requests]
+        with self._lock:
+            if self._closed:
+                raise BatcherClosedError("submit on a closed MicroBatcher")
+            self._num_requests += len(requests)
+            self._queue.extend(zip(requests, futures))
+            self._has_work.notify()
+        return futures
+
+    @property
+    def stats(self) -> dict:
+        """Batch-formation accounting (mean batch size is the win metric)."""
+        with self._lock:
+            batches, requests = self._num_batches, self._num_requests
+            largest, depth = self._largest_batch, len(self._queue)
+        return {
+            "requests": requests,
+            "batches": batches,
+            "largest_batch": largest,
+            "mean_batch_size": round(requests / batches, 3) if batches else 0.0,
+            "queue_depth": depth,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+
+    def _take_batch(self) -> "list[tuple[Any, Future]] | None":
+        """Block until a batch is ready; ``None`` means shut down."""
+        with self._has_work:
+            while not self._queue and not self._closed:
+                self._has_work.wait()
+            if not self._queue:
+                return None
+            # Give stragglers a grace window to join, unless already full.
+            if len(self._queue) < self.max_batch_size and self.max_wait_s > 0.0:
+                deadline = time.monotonic() + self.max_wait_s
+                while (len(self._queue) < self.max_batch_size
+                       and not self._closed):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0 or not self._has_work.wait(remaining):
+                        break
+            batch = [self._queue.popleft()
+                     for _ in range(min(self.max_batch_size, len(self._queue)))]
+            self._num_batches += 1
+            self._largest_batch = max(self._largest_batch, len(batch))
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            requests = [request for request, _ in batch]
+            try:
+                results = list(self._execute_batch(requests))
+                if len(results) != len(requests):
+                    raise RuntimeError(
+                        f"execute_batch returned {len(results)} results "
+                        f"for {len(requests)} requests")
+            except BaseException as exc:  # propagate to every waiter
+                for _, future in batch:
+                    future.set_exception(exc)
+                continue
+            for (_, future), result in zip(batch, results):
+                future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting work; by default process what is queued first."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+                for _, future in abandoned:
+                    future.set_exception(
+                        BatcherClosedError("MicroBatcher closed before execution"))
+            self._has_work.notify_all()
+        self._worker.join()
+        # Drain any batches the worker left behind on shutdown race.
+        with self._lock:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for _, future in leftovers:
+            future.set_exception(
+                BatcherClosedError("MicroBatcher closed before execution"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

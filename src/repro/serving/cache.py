@@ -1,0 +1,149 @@
+"""LRU+TTL query-result cache for the serving tier.
+
+Interactive EO exploration is dominated by repeated queries: a browser
+re-fires the same search as the user pans back, and popular patches are
+queried by many users.  The gateway therefore memoizes *canonicalized*
+query keys — a packed-code CBIR query or a :class:`QuerySpec` search — in a
+bounded least-recently-used map whose entries also expire after a TTL (the
+archive mutates on ingest, and even without explicit invalidation a stale
+entry must not outlive ``ttl_seconds``).
+
+Every mutation of the underlying archive must call :meth:`QueryResultCache.
+invalidate`; the gateway wires this to online ingestion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from ..errors import ValidationError
+
+_MISSING = object()
+
+
+def canonical_code_key(code: np.ndarray, *, k: "int | None",
+                       radius: "int | None") -> tuple:
+    """Canonical cache key for a packed-code CBIR query.
+
+    Two queries that would scan identically map to the same key: the code's
+    bytes (packed uint64, little-endian by construction) plus the selection
+    parameters.
+    """
+    code = np.ascontiguousarray(code, dtype=np.uint64)
+    return ("cbir", code.tobytes(), k, radius)
+
+
+def canonical_spec_key(spec: Any) -> tuple:
+    """Canonical cache key for a metadata search.
+
+    :class:`~repro.earthqube.query.QuerySpec` is a frozen dataclass with a
+    deterministic ``repr`` (shapes included), which makes the repr a stable
+    canonical form without requiring every nested shape to be hashable.
+    """
+    return ("search", repr(spec))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting exposed through the metrics snapshot."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "expirations": self.expirations,
+                "invalidations": self.invalidations,
+                "hit_ratio": round(self.hit_ratio, 4)}
+
+
+class QueryResultCache:
+    """Thread-safe LRU map with per-entry TTL expiry.
+
+    ``max_entries=0`` disables caching entirely (every lookup misses, puts
+    are dropped) so the gateway code path stays uniform.  ``clock`` is
+    injectable for deterministic TTL tests.
+    """
+
+    def __init__(self, max_entries: int = 1024, ttl_seconds: float = 300.0,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        if max_entries < 0:
+            raise ValidationError(f"max_entries must be >= 0, got {max_entries}")
+        if ttl_seconds <= 0.0:
+            raise ValidationError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> (expiry deadline, value); insertion order is recency order.
+        self._entries: "OrderedDict[Hashable, tuple[float, Any]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value, or ``default`` on miss/expiry."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self.stats.misses += 1
+                return default
+            deadline, value = entry
+            if self._clock() >= deadline:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the least recently used."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = (self._clock() + self.ttl_seconds, value)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (archive mutated); returns entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += 1
+            return dropped
+
+    def purge_expired(self) -> int:
+        """Proactively drop expired entries; returns entries dropped."""
+        now = self._clock()
+        with self._lock:
+            stale = [key for key, (deadline, _) in self._entries.items()
+                     if now >= deadline]
+            for key in stale:
+                del self._entries[key]
+            self.stats.expirations += len(stale)
+            return len(stale)

@@ -1,0 +1,247 @@
+"""The serving gateway: sharding + batching + caching behind one facade.
+
+:class:`ServingGateway` sits between :class:`~repro.earthqube.api.
+EarthQubeAPI` and the index/store tiers.  It answers the same questions as
+:meth:`EarthQube.search` and :meth:`EarthQube.similar_images` — with the
+same response types and byte-identical rankings — but executes them
+through the concurrent hot path:
+
+1. **cache** — canonicalized query keys hit an LRU+TTL result cache
+   (:mod:`repro.serving.cache`); online ingestion invalidates it,
+2. **batch** — cache misses are coalesced by a :class:`~repro.serving.
+   batching.MicroBatcher` so concurrent queries share one scan,
+3. **scatter-gather** — each batch is executed by a
+   :class:`~repro.serving.sharding.ShardedHammingIndex` that scans K
+   shards in parallel and merges per-shard top-k deterministically,
+4. **metrics** — every stage records latency histograms, counters, and
+   occupancy gauges into a :class:`~repro.serving.metrics.MetricsRegistry`.
+
+Metadata searches (document-store queries) do not go through the Hamming
+tiers; they get the cache + metrics treatment only.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import ServingConfig
+from ..earthqube.cbir import SimilarityResponse
+from ..earthqube.query import QuerySpec
+from ..earthqube.search import SearchResponse
+from ..errors import ValidationError
+from .batching import MicroBatcher
+from .cache import QueryResultCache, canonical_code_key, canonical_spec_key
+from .metrics import MetricsRegistry
+from .sharding import CodeQuery, ShardedHammingIndex
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with earthqube.server
+    from ..bigearthnet.patch import Patch
+    from ..earthqube.server import EarthQube
+
+
+class ServingGateway:
+    """Concurrent, sharded, cached, observable query execution."""
+
+    def __init__(self, system: "EarthQube",
+                 config: "ServingConfig | None" = None) -> None:
+        self.system = system
+        self.config = config if config is not None else system.config.serving
+        self.metrics = MetricsRegistry(
+            histogram_window=self.config.histogram_window)
+        self.cache = QueryResultCache(
+            max_entries=self.config.cache_entries,
+            ttl_seconds=self.config.cache_ttl_seconds)
+        names, codes = system.cbir.indexed_items()
+        self.index = ShardedHammingIndex(
+            system.hasher.num_bits,
+            self.config.num_shards,
+            backend=self.config.shard_backend,
+            mih_tables=self.config.mih_tables,
+            max_workers=self.config.max_workers,
+            scan_chunk_rows=self.config.scan_chunk_rows)
+        if names:
+            self.index.build(names, codes)
+        self.batcher = MicroBatcher(
+            self._execute_batch,
+            max_batch_size=self.config.batch_max_size,
+            max_wait_s=self.config.batch_max_delay_ms / 1e3,
+            name="serving-batch")
+        # Archive generation: bumped by on_ingest.  A result computed
+        # against generation G is only cached if the generation is still G
+        # at put time, so a scan racing an ingest can never re-insert a
+        # stale entry after the invalidation.
+        self._generation = 0
+        self._generation_lock = threading.Lock()
+        self._update_occupancy()
+
+    # ------------------------------------------------------------------ #
+    # Hot path: CBIR
+    # ------------------------------------------------------------------ #
+
+    def similar_images(self, name: str, *, k: "int | None" = 10,
+                       radius: "int | None" = None) -> SimilarityResponse:
+        """Query-by-existing-example through cache -> batcher -> shards."""
+        with self.metrics.timer("similar.total"):
+            code = self.system.cbir.code_of(name)
+            # The query matches itself at distance 0; fetch one extra and
+            # drop it, exactly like CBIRService.query_by_name.
+            request_k = None if k is None else k + 1
+            results, used = self._cached_code_query(code, k=request_k,
+                                                    radius=radius)
+            response = SimilarityResponse(name, results, used).excluding_query()
+            if k is not None and len(response.results) > k:
+                response.results = response.results[:k]
+            return response
+
+    def similar_to_features(self, features: np.ndarray, *,
+                            k: "int | None" = 10,
+                            radius: "int | None" = None) -> SimilarityResponse:
+        """Query-by-new-example from a raw feature vector."""
+        with self.metrics.timer("similar.total"):
+            features = np.asarray(features, dtype=np.float64)
+            if features.ndim != 1:
+                raise ValidationError(
+                    f"query features must be 1D, got shape {features.shape}")
+            code = self.system.hasher.hash_packed(features[None, :])[0]
+            results, used = self._cached_code_query(code, k=k, radius=radius)
+            return SimilarityResponse(None, results, used)
+
+    def similar_to_new_image(self, patch: "Patch", *, k: "int | None" = 10,
+                             radius: "int | None" = None) -> SimilarityResponse:
+        """Query-by-new-example: extract, hash, and search."""
+        features = self.system.extractor.extract(patch)
+        return self.similar_to_features(features, k=k, radius=radius)
+
+    def _cached_code_query(self, code: np.ndarray, *, k: "int | None",
+                           radius: "int | None") -> tuple[list, int]:
+        if radius is not None and radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        if radius is None and (k is None or k <= 0):
+            raise ValidationError("provide k > 0 or an explicit radius")
+        # A radius query executes identically whatever k the caller wants
+        # afterwards (truncation happens at the response layer), so k is
+        # dropped from the key to let mixed radius traffic share entries.
+        key = canonical_code_key(code, k=None if radius is not None else k,
+                                 radius=radius)
+        cached = self.cache.get(key)
+        if cached is not None:
+            results, used = cached
+            return list(results), used
+        generation = self._generation
+        job = (CodeQuery(code=code, radius=radius) if radius is not None
+               else CodeQuery(code=code, k=k))
+        # Queue wait + scan, as seen by the submitting thread; the scan
+        # alone is recorded as similar.scan on the batch worker, so queue
+        # time is the difference between the two.
+        with self.metrics.timer("similar.execute"):
+            results = self.batcher.submit(job).result()
+        if radius is not None:
+            used = radius
+        else:
+            used = results[-1].distance if results else 0
+        if generation == self._generation:
+            self.cache.put(key, (tuple(results), used))
+        return results, used
+
+    def _execute_batch(self, jobs: "list[CodeQuery]") -> "list[list]":
+        """Batch executor: one scatter-gather scan for the whole batch."""
+        with self.metrics.timer("similar.scan"):
+            merged = self.index.search_batch(jobs)
+        self.metrics.counter("batch.executed").increment()
+        self.metrics.gauge("batch.last_size").set(len(jobs))
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Metadata search path
+    # ------------------------------------------------------------------ #
+
+    def search(self, spec: QuerySpec) -> SearchResponse:
+        """Query-panel search with result caching and latency metrics.
+
+        The document store hands out reference-independent document copies;
+        the cache preserves that isolation by deep-copying documents on
+        every hit, so one caller mutating its response can never poison
+        what other callers receive.
+        """
+        with self.metrics.timer("search.total"):
+            key = canonical_spec_key(spec)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return SearchResponse(
+                    documents=copy.deepcopy(cached.documents),
+                    total_matches=cached.total_matches,
+                    plan=cached.plan,
+                    candidates_examined=cached.candidates_examined)
+            generation = self._generation
+            with self.metrics.timer("search.store"):
+                response = self.system.search_service.search(spec)
+            if generation == self._generation:
+                self.cache.put(key, SearchResponse(
+                    documents=copy.deepcopy(response.documents),
+                    total_matches=response.total_matches,
+                    plan=response.plan,
+                    candidates_examined=response.candidates_examined))
+            return response
+
+    # ------------------------------------------------------------------ #
+    # Mutation hooks
+    # ------------------------------------------------------------------ #
+
+    def on_ingest(self, name: str, code: np.ndarray) -> None:
+        """Archive grew: index the new code, drop every cached result."""
+        self.index.add(name, code)
+        with self._generation_lock:
+            self._generation += 1
+        dropped = self.cache.invalidate()
+        self.metrics.counter("ingest.items").increment()
+        self.metrics.counter("ingest.cache_dropped").increment(dropped)
+        self._update_occupancy()
+
+    def _update_occupancy(self) -> None:
+        for i, size in enumerate(self.index.shard_sizes):
+            self.metrics.gauge(f"shard.{i}.items").set(size)
+        self.metrics.gauge("cache.entries").set(len(self.cache))
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def metrics_snapshot(self) -> dict:
+        """Everything observable in one JSON-compatible dict."""
+        self._update_occupancy()
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats.as_dict()
+        snapshot["batcher"] = self.batcher.stats
+        snapshot["shards"] = {
+            "count": self.index.num_shards,
+            "backend": self.index.backend,
+            "sizes": self.index.shard_sizes,
+        }
+        return snapshot
+
+    def describe(self) -> dict:
+        """Static serving configuration (joins EarthQube.describe)."""
+        return {
+            "num_shards": self.config.num_shards,
+            "shard_backend": self.config.shard_backend,
+            "batch_max_size": self.config.batch_max_size,
+            "batch_max_delay_ms": self.config.batch_max_delay_ms,
+            "cache_entries": self.config.cache_entries,
+            "cache_ttl_seconds": self.config.cache_ttl_seconds,
+            "indexed_items": len(self.index),
+        }
+
+    def close(self) -> None:
+        """Stop the batch worker and the scatter-gather pool."""
+        self.batcher.close()
+        self.index.close()
+
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

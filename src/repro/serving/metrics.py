@@ -1,0 +1,190 @@
+"""Serving-tier observability: latency histograms, counters, gauges.
+
+The paper demos EarthQube as an *interactive* portal; an interactive query
+tier is only tunable when every stage of the hot path is measured.  This
+module is a dependency-free miniature of the usual Prometheus client:
+
+* :class:`Counter` — monotonically increasing event count (QPS numerators,
+  cache hits/misses),
+* :class:`Gauge` — last-written value (shard occupancy, cache size),
+* :class:`LatencyHistogram` — sliding window of durations with p50/p95/p99
+  summaries,
+* :class:`MetricsRegistry` — the named collection the gateway exposes as a
+  JSON-compatible snapshot.
+
+All types are thread-safe: the scatter-gather executor and the micro-batch
+worker record from multiple threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, queue depth)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+
+class LatencyHistogram:
+    """Sliding-window latency recorder with percentile summaries.
+
+    Keeps the most recent ``window`` samples (old traffic ages out, so the
+    percentiles track current behaviour) plus lifetime count/total for QPS
+    and mean-over-all-time accounting.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of recorded durations."""
+        return self._count
+
+    @property
+    def total_seconds(self) -> float:
+        """Lifetime sum of recorded durations."""
+        return self._total
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+            self._count += 1
+            self._total += float(seconds)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the current window, seconds."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return float(np.percentile(np.fromiter(self._samples, dtype=np.float64), q))
+
+    def summary(self) -> dict:
+        """JSON-compatible summary: count, mean and p50/p95/p99 in ms."""
+        with self._lock:
+            count, total = self._count, self._total
+            window = np.fromiter(self._samples, dtype=np.float64)
+        if window.size == 0:
+            return {"count": count, "mean_ms": 0.0,
+                    "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        p50, p95, p99 = np.percentile(window, (50, 95, 99))
+        return {
+            "count": count,
+            "mean_ms": round(total / count * 1e3, 4),
+            "p50_ms": round(float(p50) * 1e3, 4),
+            "p95_ms": round(float(p95) * 1e3, 4),
+            "p99_ms": round(float(p99) * 1e3, 4),
+            "max_ms": round(float(window.max()) * 1e3, 4),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics for one serving gateway.
+
+    Metrics are created lazily on first access, so instrumentation sites
+    never need registration boilerplate::
+
+        metrics = MetricsRegistry()
+        with metrics.timer("similar.scan"):
+            run_scan()
+        metrics.counter("cache.hits").increment()
+        print(metrics.snapshot())
+    """
+
+    def __init__(self, *, histogram_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._histogram_window = histogram_window
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._started_at = time.perf_counter()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = LatencyHistogram(self._histogram_window)
+            return self._histograms[name]
+
+    @contextmanager
+    def timer(self, name: str):
+        """Record the duration of a ``with`` block into histogram ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).record(time.perf_counter() - start)
+
+    def qps(self, name: str) -> float:
+        """Lifetime queries-per-second of histogram ``name``."""
+        elapsed = time.perf_counter() - self._started_at
+        if elapsed <= 0.0:
+            return 0.0
+        return self.histogram(name).count / elapsed
+
+    def snapshot(self) -> dict:
+        """One JSON-compatible dict with every metric's current state."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        elapsed = time.perf_counter() - self._started_at
+        return {
+            "uptime_seconds": round(elapsed, 3),
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "latency": {
+                name: {**h.summary(),
+                       "qps": round(h.count / elapsed, 3) if elapsed > 0 else 0.0}
+                for name, h in sorted(histograms.items())
+            },
+        }

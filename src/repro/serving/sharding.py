@@ -1,0 +1,329 @@
+"""Sharded Hamming index with parallel scatter-gather query execution.
+
+One monolithic index serializes every query behind one scan.  Here the
+packed archive codes are partitioned round-robin into ``K`` shards, each a
+self-contained Hamming index; a query is *scattered* to every shard (a
+thread pool scans them in parallel — numpy's popcount kernels release the
+GIL, so shard scans genuinely overlap), then the per-shard top-k candidate
+lists are *gathered* and merged.
+
+Determinism is load-bearing: every path orders candidates by the global
+``(distance, insertion row)`` pair — exactly the tie-break of
+:func:`repro.index.hamming.top_k_smallest` and of the monolithic indexes —
+so the merged top-k of a K-shard index is byte-identical to the K=1 result
+regardless of shard count or scan interleaving.
+
+Two shard backends:
+
+* ``"linear"`` — packed matrix scan per shard (the E6 baseline kernel);
+  batches of queries become one vectorized ``pairwise_hamming`` call per
+  shard, which is what the micro-batcher exploits.
+* ``"mih"`` — a :class:`~repro.index.mih.MultiIndexHashing` per shard for
+  bucket-probe behaviour on very large shards.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import EmptyIndexError, ValidationError
+from ..index.hamming import pairwise_hamming, top_k_smallest
+from ..index.mih import MultiIndexHashing
+from ..index.results import SearchResult
+
+
+@dataclass(frozen=True)
+class CodeQuery:
+    """One retrieval request against packed codes: kNN or radius search."""
+
+    code: np.ndarray
+    k: "int | None" = None
+    radius: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if (self.k is None) == (self.radius is None):
+            raise ValidationError("provide exactly one of k or radius")
+        if self.k is not None and self.k <= 0:
+            raise ValidationError(f"k must be positive, got {self.k}")
+        if self.radius is not None and self.radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {self.radius}")
+
+
+class _LinearShard:
+    """Packed-code matrix scan over one shard's rows."""
+
+    def __init__(self, num_bits: int) -> None:
+        self.num_bits = num_bits
+        self._rows: list[int] = []
+        self._codes: "np.ndarray | None" = None
+        self._pending: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def add(self, row: int, code: np.ndarray) -> None:
+        self._rows.append(row)
+        self._pending.append(code)
+
+    def _materialize(self) -> "np.ndarray | None":
+        if self._pending:
+            stacked = np.stack(self._pending)
+            self._codes = stacked if self._codes is None else np.vstack(
+                [self._codes, stacked])
+            self._pending = []
+        return self._codes
+
+    def prepare(self) -> None:
+        """Fold pending codes in (called under the index lock, so scans
+        running on pool threads never mutate shard state)."""
+        self._materialize()
+
+    def scan(self, queries: np.ndarray, jobs: Sequence[CodeQuery],
+             chunk_rows: int) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """Per-job ``(global_rows, distances)`` candidates from this shard.
+
+        One vectorized distance-matrix scan covers the whole batch — this is
+        the coalescing the micro-batcher buys.
+
+        Read-only: runs on pool threads after :meth:`prepare` folded pending
+        codes in under the index lock (an ``add`` racing with this scan
+        becomes visible at the next prepare, never corrupts this one).
+        """
+        codes = self._codes
+        if codes is None or codes.shape[0] == 0:
+            empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+            return [empty for _ in jobs]
+        rows = np.asarray(self._rows[:codes.shape[0]], dtype=np.int64)
+        # Chunk over the *corpus* axis (the one that grows): peak memory is
+        # chunk_rows * Q * W words however large the shard gets.
+        distances = pairwise_hamming(codes, queries, chunk_rows=chunk_rows).T
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        for i, job in enumerate(jobs):
+            if job.radius is not None:
+                local = np.flatnonzero(distances[i] <= job.radius)
+            else:
+                # Local selection order (distance, local row) equals global
+                # (distance, global row): round-robin assignment appends
+                # rows to a shard in increasing global order.
+                local = top_k_smallest(distances[i], job.k)
+            out.append((rows[local], distances[i][local]))
+        return out
+
+
+class _MIHShard:
+    """A Multi-Index Hashing table over one shard's rows.
+
+    Unlike the linear shard, MIH searches fold pending codes in lazily, so
+    ``scan`` is *not* read-only; a per-shard lock serializes scans with
+    concurrent ``add``/other scans on the same shard (cross-shard
+    parallelism within a batch is unaffected — one pool thread per shard).
+    """
+
+    def __init__(self, num_bits: int, mih_tables: int) -> None:
+        self.num_bits = num_bits
+        self._index = MultiIndexHashing(num_bits, mih_tables)
+        self._shard_lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def add(self, row: int, code: np.ndarray) -> None:
+        with self._shard_lock:
+            self._index.add(row, code)
+
+    def prepare(self) -> None:
+        with self._shard_lock:
+            if len(self._index):
+                self._index._materialize()
+
+    def scan(self, queries: np.ndarray, jobs: Sequence[CodeQuery],
+             chunk_rows: int) -> "list[tuple[np.ndarray, np.ndarray]]":
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        with self._shard_lock:
+            for i, job in enumerate(jobs):
+                if len(self._index) == 0:
+                    out.append(empty)
+                    continue
+                if job.radius is not None:
+                    results = self._index.search_radius(queries[i], job.radius)
+                else:
+                    results = self._index.search_knn(queries[i], job.k)
+                rows = np.asarray([r.item_id for r in results], dtype=np.int64)
+                distances = np.asarray([r.distance for r in results],
+                                       dtype=np.int64)
+                out.append((rows, distances))
+        return out
+
+
+class ShardedHammingIndex:
+    """K-shard Hamming index with a parallel scatter-gather executor."""
+
+    def __init__(self, num_bits: int, num_shards: int = 4, *,
+                 backend: str = "linear", mih_tables: int = 4,
+                 max_workers: "int | None" = None,
+                 scan_chunk_rows: int = 4096) -> None:
+        if num_bits <= 0 or num_bits % 8 != 0:
+            raise ValidationError(
+                f"num_bits must be a positive multiple of 8, got {num_bits}")
+        if num_shards < 1:
+            raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+        if backend not in ("linear", "mih"):
+            raise ValidationError(
+                f"backend must be 'linear' or 'mih', got {backend!r}")
+        if scan_chunk_rows < 1:
+            raise ValidationError(f"scan_chunk_rows must be >= 1, got {scan_chunk_rows}")
+        self.num_bits = num_bits
+        self.num_shards = num_shards
+        self.backend = backend
+        self.mih_tables = mih_tables
+        self.scan_chunk_rows = scan_chunk_rows
+        self._lock = threading.RLock()
+        self._ids: list[Hashable] = []
+        self._shards = self._new_shards()
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._max_workers = max_workers if max_workers is not None else num_shards
+
+    def _new_shards(self) -> list:
+        if self.backend == "linear":
+            return [_LinearShard(self.num_bits) for _ in range(self.num_shards)]
+        return [_MIHShard(self.num_bits, self.mih_tables)
+                for _ in range(self.num_shards)]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Occupancy of each shard (exported as gauges by the gateway)."""
+        with self._lock:
+            return [len(shard) for shard in self._shards]
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def build(self, item_ids: Iterable[Hashable], codes: np.ndarray) -> None:
+        """(Re)build from aligned ids and ``(N, W)`` packed codes."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        ids = list(item_ids)
+        if codes.ndim != 2 or len(ids) != codes.shape[0]:
+            raise ValidationError(
+                f"need (N, W) codes aligned with N ids, got {codes.shape} and {len(ids)} ids")
+        with self._lock:
+            self._ids = []
+            self._shards = self._new_shards()
+            for item_id, code in zip(ids, codes):
+                self.add(item_id, code)
+
+    def add(self, item_id: Hashable, code: np.ndarray) -> None:
+        """Append one item; it joins shard ``row % num_shards``."""
+        code = np.asarray(code, dtype=np.uint64)
+        if code.ndim != 1:
+            raise ValidationError(f"add expects a single packed code, got {code.shape}")
+        with self._lock:
+            row = len(self._ids)
+            self._ids.append(item_id)
+            self._shards[row % self.num_shards].add(row, code)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def search_knn(self, code: np.ndarray, k: int) -> list[SearchResult]:
+        """The exact ``k`` nearest items, (distance, insertion row) order."""
+        return self.search_batch([CodeQuery(code=code, k=k)])[0]
+
+    def search_radius(self, code: np.ndarray, radius: int) -> list[SearchResult]:
+        """All items within ``radius``, nearest first."""
+        return self.search_batch([CodeQuery(code=code, radius=radius)])[0]
+
+    def search_batch(self, jobs: Sequence[CodeQuery]) -> list[list[SearchResult]]:
+        """Scatter a batch of queries to every shard, gather and merge.
+
+        Every shard scans the *whole batch* in one vectorized pass (linear
+        backend), so the per-query overhead amortizes across the batch.
+        """
+        if not jobs:
+            return []
+        with self._lock:
+            if not self._ids:
+                raise EmptyIndexError("search on an empty ShardedHammingIndex")
+            ids = list(self._ids)
+            shards = list(self._shards)
+            for shard in shards:
+                shard.prepare()
+
+        # Single-flight within the batch: concurrent users asking the same
+        # question (popular patches) share one scan.
+        unique_jobs: list[CodeQuery] = []
+        slot_of: dict[tuple, int] = {}
+        slots = []
+        for job in jobs:
+            code = np.ascontiguousarray(job.code, dtype=np.uint64)
+            key = (code.tobytes(), job.k, job.radius)
+            if key not in slot_of:
+                slot_of[key] = len(unique_jobs)
+                unique_jobs.append(job)
+            slots.append(slot_of[key])
+
+        queries = np.stack([np.asarray(job.code, dtype=np.uint64)
+                            for job in unique_jobs])
+        if queries.ndim != 2:
+            raise ValidationError(f"queries must stack to (Q, W), got {queries.shape}")
+
+        def scan(shard) -> "list[tuple[np.ndarray, np.ndarray]]":
+            return shard.scan(queries, unique_jobs, self.scan_chunk_rows)
+
+        if len(shards) == 1:
+            per_shard = [scan(shards[0])]
+        else:
+            per_shard = list(self._pool().map(scan, shards))
+
+        merged: list[list[SearchResult]] = []
+        for i, job in enumerate(unique_jobs):
+            rows = np.concatenate([per_shard[s][i][0] for s in range(len(shards))])
+            dists = np.concatenate([per_shard[s][i][1] for s in range(len(shards))])
+            order = np.lexsort((rows, dists))
+            if job.k is not None:
+                order = order[:job.k]
+            merged.append([SearchResult(ids[int(rows[j])], int(dists[j]))
+                           for j in order])
+        # Duplicates get their own list (callers may truncate in place).
+        out = []
+        seen_slots: set[int] = set()
+        for slot in slots:
+            result = merged[slot]
+            out.append(result if slot not in seen_slots else list(result))
+            seen_slots.add(slot)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="shard-scan")
+            return self._executor
+
+    def close(self) -> None:
+        """Shut down the scatter-gather thread pool."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def __enter__(self) -> "ShardedHammingIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -239,3 +239,27 @@ def test_property_mih_equals_scan(seed, radius):
     expected = {(r.item_id, r.distance) for r in scan.search_radius(query, radius)}
     actual = {(r.item_id, r.distance) for r in mih.search_radius(query, radius)}
     assert actual == expected
+
+
+class TestChunkedPairwise:
+    """pairwise_hamming(chunk_rows=...) must equal the unchunked matrix."""
+
+    def test_chunked_equals_unchunked(self, rng):
+        from repro.index import pairwise_hamming
+        a = random_codes(rng, 37, 64)
+        b = random_codes(rng, 53, 64)
+        full = pairwise_hamming(a, b)
+        for chunk in (1, 5, 36, 37, 1000):
+            assert (pairwise_hamming(a, b, chunk_rows=chunk) == full).all()
+
+    def test_chunked_self_distance(self, rng):
+        from repro.index import pairwise_hamming
+        a = random_codes(rng, 21, 32)
+        assert (pairwise_hamming(a, chunk_rows=4) == pairwise_hamming(a)).all()
+
+    def test_chunk_rows_must_be_positive(self, rng):
+        from repro.errors import ShapeError
+        from repro.index import pairwise_hamming
+        a = random_codes(rng, 4, 32)
+        with pytest.raises(ShapeError):
+            pairwise_hamming(a, chunk_rows=0)
