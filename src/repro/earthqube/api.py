@@ -138,6 +138,42 @@ class EarthQubeAPI:
                         for r in result.results],
         }
 
+    def similar_batch(self, request: Mapping[str, Any]) -> dict:
+        """POST /similar/batch — CBIR for many archive images in one call.
+
+        Request: ``{"names": [...], "k": 10}`` or
+        ``{"names": [...], "radius": 2}``.  The whole batch executes one
+        coalesced index pass; the response carries one entry per name, in
+        request order, each shaped exactly like a ``/similar`` response.
+        """
+        try:
+            if not isinstance(request, Mapping):
+                raise ValidationError("similar_batch request must be an object")
+            names = request.get("names")
+            if not isinstance(names, (list, tuple)) or not names:
+                raise ValidationError(
+                    "similar_batch request needs a non-empty 'names' list")
+            k = request.get("k", 10)
+            radius = request.get("radius")
+            if radius is not None:
+                responses = self.system.similar_images_batch(
+                    [str(name) for name in names], k=None, radius=int(radius))
+            else:
+                responses = self.system.similar_images_batch(
+                    [str(name) for name in names], k=int(k))
+        except ReproError as exc:
+            return self._error(exc)
+        return {
+            "ok": True,
+            "count": len(responses),
+            "queries": [{
+                "query": response.query_name,
+                "radius_used": response.radius_used,
+                "results": [{"name": str(r.item_id), "distance": r.distance}
+                            for r in response.results],
+            } for response in responses],
+        }
+
     def statistics(self, request: Mapping[str, Any]) -> dict:
         """POST /statistics — label statistics for a list of names."""
         try:

@@ -55,6 +55,21 @@ class SimilarityResponse:
         return SimilarityResponse(self.query_name, filtered, self.radius_used)
 
 
+def shape_name_response(name: str, results: "list[SearchResult]", used: int,
+                        k: "int | None") -> SimilarityResponse:
+    """Query-by-name response shaping, shared by every query path.
+
+    The index was asked for one extra neighbor (the query matches itself
+    at distance 0); drop that self-match and truncate back to ``k``.  The
+    single-query, batch, and gateway paths must all shape identically or
+    their byte-for-byte equivalence breaks.
+    """
+    response = SimilarityResponse(name, results, used).excluding_query()
+    if k is not None and len(response.results) > k:
+        response.results = response.results[:k]
+    return response
+
+
 class CBIRService:
     """MiLaN-backed similarity search over an indexed archive."""
 
@@ -68,6 +83,14 @@ class CBIRService:
         self._index = MultiIndexHashing(hasher.num_bits, self.config.mih_tables)
         # The paper's in-memory hash table: patch name -> packed binary code.
         self._code_by_name: dict[str, np.ndarray] = {}
+        # Row-aligned snapshot of the same codes: _names[i] owns _codes[i].
+        # Kept so indexed_items() hands out O(1) views instead of
+        # re-stacking every stored code; online adds buffer in _pending
+        # and fold in one vstack at the next snapshot.
+        words = -(-hasher.num_bits // 64)
+        self._names: list[str] = []
+        self._codes: np.ndarray = np.empty((0, words), dtype=np.uint64)
+        self._pending: list[np.ndarray] = []
 
     def __len__(self) -> int:
         return len(self._code_by_name)
@@ -81,6 +104,9 @@ class CBIRService:
             raise ValidationError(
                 f"features rows ({codes.shape[0]}) must match names ({len(names)})")
         self._code_by_name = {name: codes[i] for i, name in enumerate(names)}
+        self._names = list(names)
+        self._codes = codes
+        self._pending = []
         self._index.build(list(names), codes)
 
     def code_of(self, name: str) -> np.ndarray:
@@ -96,12 +122,16 @@ class CBIRService:
         The serving tier builds its sharded index from this snapshot; the
         row order matches the retrieval index's insertion order, so both
         tiers share the same deterministic (distance, row) tie-break.
+
+        The code matrix is the service's row-aligned store itself (a view,
+        not a copy): after pending online adds are folded in — one vstack
+        amortized over all adds since the last snapshot — this is O(1) in
+        archive size, where re-stacking N stored codes per call was O(N).
         """
-        names = list(self._code_by_name)
-        if not names:
-            words = -(-self.hasher.num_bits // 64)
-            return [], np.empty((0, words), dtype=np.uint64)
-        return names, np.stack([self._code_by_name[name] for name in names])
+        if self._pending:
+            self._codes = np.vstack([self._codes, np.stack(self._pending)])
+            self._pending = []
+        return list(self._names), self._codes
 
     def add_image(self, name: str, features: np.ndarray) -> np.ndarray:
         """Online ingestion: hash and index one new image.
@@ -118,6 +148,8 @@ class CBIRService:
             raise ValidationError(f"features must be 1D, got shape {features.shape}")
         code = self.hasher.hash_packed(features[None, :])[0]
         self._code_by_name[name] = code
+        self._names.append(name)
+        self._pending.append(code)
         self._index.add(name, code)
         return code
 
@@ -137,10 +169,7 @@ class CBIRService:
         # and is dropped from the response.
         results, used = self._run(code, k=None if k is None else k + 1,
                                   radius=radius)
-        response = SimilarityResponse(name, results, used).excluding_query()
-        if k is not None and len(response.results) > k:
-            response.results = response.results[:k]
-        return response
+        return shape_name_response(name, results, used, k)
 
     def query_by_patch(self, patch: Patch, *, k: "int | None" = 10,
                        radius: "int | None" = None) -> SimilarityResponse:
@@ -157,6 +186,67 @@ class CBIRService:
         code = self.hasher.hash_packed(features[None, :])[0]
         results, used = self._run(code, k=k, radius=radius)
         return SimilarityResponse(None, results, used)
+
+    def query_batch(self, queries: Sequence, *, k: "int | None" = 10,
+                    radius: "int | None" = None) -> list[SimilarityResponse]:
+        """Batch CBIR: one ranked response per query, in request order.
+
+        Each query is either an archive image name (``str``, matching
+        :meth:`query_by_name` semantics: self-match dropped, truncated to
+        ``k``) or a 1-D feature vector (matching :meth:`query_by_features`).
+        The whole batch runs through the index's native batch path — one
+        vectorized probe/verify pass instead of a Python loop — and the
+        responses are byte-identical to looping the single-query methods.
+        """
+        queries = list(queries)
+        responses: "list[SimilarityResponse | None]" = [None] * len(queries)
+        name_positions: list[int] = []
+        name_codes: list[np.ndarray] = []
+        feature_positions: list[int] = []
+        feature_codes: list[np.ndarray] = []
+        for position, query in enumerate(queries):
+            if isinstance(query, str):
+                name_positions.append(position)
+                name_codes.append(self.code_of(query))
+            else:
+                features = np.asarray(query, dtype=np.float64)
+                if features.ndim != 1:
+                    raise ValidationError(
+                        f"query features must be 1D, got shape {features.shape}")
+                feature_positions.append(position)
+                # Hashed exactly as the single-query path hashes it, so a
+                # batched feature query maps to the identical code.
+                feature_codes.append(self.hasher.hash_packed(features[None, :])[0])
+        if name_positions:
+            # One extra neighbor per name query: the self-match at
+            # distance 0 is dropped from the response.
+            batches, used_list = self._run_batch(
+                np.stack(name_codes), k=None if k is None else k + 1,
+                radius=radius)
+            for position, results, used in zip(name_positions, batches, used_list):
+                responses[position] = shape_name_response(
+                    queries[position], results, used, k)
+        if feature_positions:
+            batches, used_list = self._run_batch(
+                np.stack(feature_codes), k=k, radius=radius)
+            for position, results, used in zip(feature_positions, batches,
+                                               used_list):
+                responses[position] = SimilarityResponse(None, results, used)
+        return responses  # type: ignore[return-value]
+
+    def _run_batch(self, codes: np.ndarray, *, k: "int | None",
+                   radius: "int | None",
+                   ) -> "tuple[list[list[SearchResult]], list[int]]":
+        if radius is not None:
+            if radius < 0:
+                raise ValidationError(f"radius must be >= 0, got {radius}")
+            batches = self._index.search_radius_batch(codes, radius)
+            return batches, [radius] * len(batches)
+        if k is None or k <= 0:
+            raise ValidationError("provide k > 0 or an explicit radius")
+        batches = self._index.search_knn_batch(codes, k)
+        return batches, [results[-1].distance if results else 0
+                         for results in batches]
 
     def _run(self, code: np.ndarray, *, k: "int | None",
              radius: "int | None") -> tuple[list[SearchResult], int]:

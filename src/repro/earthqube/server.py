@@ -144,6 +144,22 @@ class EarthQube:
             return self.gateway.similar_images(name, k=k, radius=radius)
         return self.cbir.query_by_name(name, k=k, radius=radius)
 
+    def similar_images_batch(self, names: "list[str]", *,
+                             k: "int | None" = 10,
+                             radius: "int | None" = None,
+                             ) -> list[SimilarityResponse]:
+        """Batch CBIR: one ranked response per archive image name.
+
+        Routed through the serving tier's batch pipeline when enabled;
+        either way the responses are byte-identical to calling
+        :meth:`similar_images` per name.
+        """
+        if radius is None and k is None:
+            radius = self.config.index.hamming_radius
+        if self.gateway is not None:
+            return self.gateway.similar_images_batch(names, k=k, radius=radius)
+        return self.cbir.query_batch(list(names), k=k, radius=radius)
+
     def similar_to_new_image(self, patch: Patch, *, k: "int | None" = 10,
                              radius: "int | None" = None) -> SimilarityResponse:
         """CBIR from an uploaded image (query-by-new-example)."""

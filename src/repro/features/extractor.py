@@ -17,7 +17,13 @@ from ..bigearthnet.patch import Patch, S2_BANDS_10M, S2_BAND_NAMES
 from ..config import FeatureConfig
 from ..errors import ValidationError
 from .spectral import ndbi, ndvi, ndwi
-from .statistics import band_moments, gradient_energy, histogram_features, local_variance
+from .statistics import (
+    band_moments,
+    band_moments_batch,
+    gradient_energy,
+    histogram_features,
+    local_variance,
+)
 
 _MOMENTS = 5
 _HISTOGRAM_BANDS = ("B02", "B03", "B04", "B08")
@@ -85,13 +91,94 @@ class FeatureExtractor:
         return vector
 
     def extract_many(self, patches: "list[Patch] | tuple[Patch, ...]") -> np.ndarray:
-        """``(N, dimension)`` feature matrix for a list of patches."""
+        """``(N, dimension)`` feature matrix for a list of patches.
+
+        Band moments (per-band, spectral-index, and Sentinel-1) are
+        computed for *all* patches of a band in one stacked vectorized
+        pass — bitwise-identical to :meth:`extract` per patch, and free of
+        per-patch Python dispatch (the win grows as band resolution
+        shrinks relative to patch count).  Archives with ragged band
+        shapes fall back to the per-patch path.
+        """
+        patches = list(patches)
         if not patches:
             raise ValidationError("extract_many needs at least one patch")
-        out = np.empty((len(patches), self._dimension), dtype=np.float64)
-        for row, patch in enumerate(patches):
-            out[row] = self.extract(patch)
-        return out
+        stacks = self._stack_bands(patches)
+        if stacks is None:
+            out = np.empty((len(patches), self._dimension), dtype=np.float64)
+            for row, patch in enumerate(patches):
+                out[row] = self.extract(patch)
+            return out
+        return self._extract_many_stacked(patches, stacks)
+
+    def _stack_bands(self, patches: "list[Patch]",
+                     ) -> "dict[str, np.ndarray] | None":
+        """Per-band ``(N, H, W)`` stacks, or None when the fast path
+        cannot apply (ragged shapes, or a mix of with/without S1)."""
+        cfg = self.config
+        if cfg.include_s1 and any(p.has_s1 for p in patches) \
+                and not all(p.has_s1 for p in patches):
+            return None
+        stacks: dict[str, np.ndarray] = {}
+        try:
+            for band_name in S2_BAND_NAMES:
+                stacks[band_name] = np.stack(
+                    [patch.s2_bands[band_name] for patch in patches])
+            if cfg.include_s1 and patches[0].has_s1:
+                stacks["VV"] = np.stack([p.s1_bands["VV"] for p in patches])
+                stacks["VH"] = np.stack([p.s1_bands["VH"] for p in patches])
+        except ValueError:
+            return None
+        return stacks
+
+    def _extract_many_stacked(self, patches: "list[Patch]",
+                              stacks: "dict[str, np.ndarray]") -> np.ndarray:
+        """The vectorized fast path; column order mirrors :meth:`extract`."""
+        cfg = self.config
+        num = len(patches)
+        columns: list[np.ndarray] = []
+        for band_name in S2_BAND_NAMES:
+            columns.append(band_moments_batch(stacks[band_name]))
+        if cfg.include_texture:
+            # Texture kernels stay per-patch: on full-archive stacks the
+            # gradient temporaries fall out of cache and run slower than
+            # the cache-sized 2-D loop.
+            for band_name in S2_BANDS_10M:
+                stack = stacks[band_name]
+                texture = np.empty((num, 2), dtype=np.float64)
+                for row in range(num):
+                    texture[row, 0] = gradient_energy(stack[row])
+                    texture[row, 1] = local_variance(stack[row])
+                columns.append(texture)
+        if cfg.include_spectral_indices:
+            nir = stacks["B08"]
+            red = stacks["B04"]
+            green = stacks["B03"]
+            swir = _upsample_stack(stacks["B11"], nir.shape[1])
+            columns.append(band_moments_batch(ndvi(nir, red)))
+            columns.append(band_moments_batch(ndwi(green, nir)))
+            columns.append(band_moments_batch(ndbi(swir, nir)))
+        for band_name in _HISTOGRAM_BANDS:
+            stack = stacks[band_name]
+            histograms = np.empty((num, cfg.histogram_bins), dtype=np.float64)
+            for row in range(num):
+                histograms[row] = histogram_features(stack[row], cfg.histogram_bins)
+            columns.append(histograms)
+        if cfg.include_s1:
+            if "VV" in stacks:
+                vv, vh = stacks["VV"], stacks["VH"]
+                ratio = vh / (vv + 1e-6)
+                columns.append(band_moments_batch(vv))
+                columns.append(band_moments_batch(vh))
+                columns.append(band_moments_batch(ratio))
+            else:
+                columns.append(np.zeros((num, 3 * _MOMENTS)))
+        matrix = np.concatenate(columns, axis=1)
+        if matrix.shape[1] != self._dimension:
+            raise ValidationError(
+                f"feature dimension mismatch: produced {matrix.shape[1]}, "
+                f"expected {self._dimension}")
+        return matrix
 
 
 def _upsample_to(band: np.ndarray, side: int) -> np.ndarray:
@@ -100,3 +187,11 @@ def _upsample_to(band: np.ndarray, side: int) -> np.ndarray:
     if factor <= 1:
         return band
     return np.repeat(np.repeat(band, factor, axis=0), factor, axis=1)
+
+
+def _upsample_stack(stack: np.ndarray, side: int) -> np.ndarray:
+    """Batch form of :func:`_upsample_to` over an ``(N, H, W)`` stack."""
+    factor = side // stack.shape[1]
+    if factor <= 1:
+        return stack
+    return np.repeat(np.repeat(stack, factor, axis=1), factor, axis=2)

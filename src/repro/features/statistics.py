@@ -17,6 +17,21 @@ def band_moments(band: np.ndarray) -> np.ndarray:
     return np.array([flat.mean(), flat.std(), p10, p50, p90])
 
 
+def band_moments_batch(bands: np.ndarray) -> np.ndarray:
+    """``(N, 5)`` moments for an ``(N, H, W)`` stack of same-shape bands.
+
+    One vectorized mean/std/percentile pass over the whole stack; each row
+    is bitwise-identical to :func:`band_moments` of that band alone (the
+    reductions run over the same contiguous memory in the same order).
+    """
+    bands = np.asarray(bands, dtype=np.float64)
+    if bands.ndim != 3:
+        raise ShapeError(f"band stack must be 3D, got shape {bands.shape}")
+    flat = bands.reshape(bands.shape[0], -1)
+    p10, p50, p90 = np.percentile(flat, [10.0, 50.0, 90.0], axis=1)
+    return np.column_stack([flat.mean(axis=1), flat.std(axis=1), p10, p50, p90])
+
+
 def gradient_energy(band: np.ndarray) -> float:
     """Mean magnitude of the spatial gradient (texture roughness proxy)."""
     band = np.asarray(band, dtype=np.float64)

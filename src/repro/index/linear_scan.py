@@ -13,8 +13,12 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
-from .hamming import hamming_distances_to_query, top_k_smallest
+from .hamming import hamming_distances_to_query, pairwise_hamming, top_k_smallest
 from .results import SearchResult
+
+# Batch scans chunk the query axis so peak memory stays bounded at
+# _BATCH_CHUNK_QUERIES * N words however large the batch gets.
+_BATCH_CHUNK_QUERIES = 256
 
 
 class LinearScanIndex:
@@ -65,3 +69,48 @@ class LinearScanIndex:
         distances = hamming_distances_to_query(codes, np.asarray(code, dtype=np.uint64))
         rows = top_k_smallest(distances, k)
         return [SearchResult(self._ids[int(row)], int(distances[row])) for row in rows]
+
+    # ------------------------------------------------------------------ #
+    # Batch queries: one distance-matrix scan covers the whole batch
+    # ------------------------------------------------------------------ #
+
+    def _batch_distances(self, codes: np.ndarray) -> np.ndarray:
+        """``(Q, N)`` distances of a query batch to every stored code."""
+        archive = self._require_built()
+        queries = np.asarray(codes, dtype=np.uint64)
+        if queries.ndim != 2:
+            raise ValidationError(
+                f"batch search expects (Q, W) packed codes, got {queries.shape}")
+        return pairwise_hamming(queries, archive,
+                                chunk_rows=_BATCH_CHUNK_QUERIES)
+
+    def search_knn_batch(self, codes: np.ndarray, k: int,
+                         ) -> "list[list[SearchResult]]":
+        """Exact kNN for a ``(Q, W)`` batch of packed queries.
+
+        Byte-identical to calling :meth:`search_knn` per query, but the
+        XOR/popcount work runs as one vectorized distance-matrix scan.
+        """
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        distances = self._batch_distances(codes)
+        out: "list[list[SearchResult]]" = []
+        for row_distances in distances:
+            rows = top_k_smallest(row_distances, k)
+            out.append([SearchResult(self._ids[int(row)], int(row_distances[row]))
+                        for row in rows])
+        return out
+
+    def search_radius_batch(self, codes: np.ndarray, radius: int,
+                            ) -> "list[list[SearchResult]]":
+        """Radius search for a ``(Q, W)`` batch of packed queries."""
+        if radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        distances = self._batch_distances(codes)
+        out: "list[list[SearchResult]]" = []
+        for row_distances in distances:
+            within = np.flatnonzero(row_distances <= radius)
+            order = np.lexsort((within, row_distances[within]))
+            out.append([SearchResult(self._ids[int(row)], int(row_distances[row]))
+                        for row in within[order]])
+        return out

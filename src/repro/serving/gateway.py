@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import ServingConfig
-from ..earthqube.cbir import SimilarityResponse
+from ..earthqube.cbir import SimilarityResponse, shape_name_response
 from ..earthqube.query import QuerySpec
 from ..earthqube.search import SearchResponse
 from ..errors import ValidationError
@@ -82,6 +82,34 @@ class ServingGateway:
     # Hot path: CBIR
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _validate_code_query(k: "int | None", radius: "int | None") -> None:
+        if radius is not None and radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        if radius is None and (k is None or k <= 0):
+            raise ValidationError("provide k > 0 or an explicit radius")
+
+    @staticmethod
+    def _code_key_and_job(code: np.ndarray, *, k: "int | None",
+                          radius: "int | None") -> "tuple[tuple, CodeQuery]":
+        """Canonical cache key and index job for one packed-code query.
+
+        A radius query executes identically whatever k the caller wants
+        afterwards (truncation happens at the response layer), so k is
+        dropped from the key to let mixed radius traffic share entries.
+        """
+        key = canonical_code_key(code, k=None if radius is not None else k,
+                                 radius=radius)
+        job = (CodeQuery(code=code, radius=radius) if radius is not None
+               else CodeQuery(code=code, k=k))
+        return key, job
+
+    @staticmethod
+    def _used_radius(results: list, radius: "int | None") -> int:
+        if radius is not None:
+            return radius
+        return results[-1].distance if results else 0
+
     def similar_images(self, name: str, *, k: "int | None" = 10,
                        radius: "int | None" = None) -> SimilarityResponse:
         """Query-by-existing-example through cache -> batcher -> shards."""
@@ -92,10 +120,52 @@ class ServingGateway:
             request_k = None if k is None else k + 1
             results, used = self._cached_code_query(code, k=request_k,
                                                     radius=radius)
-            response = SimilarityResponse(name, results, used).excluding_query()
-            if k is not None and len(response.results) > k:
-                response.results = response.results[:k]
-            return response
+            return shape_name_response(name, results, used, k)
+
+    def similar_images_batch(self, names: "list[str]", *,
+                             k: "int | None" = 10,
+                             radius: "int | None" = None,
+                             ) -> list[SimilarityResponse]:
+        """Batch CBIR through the same cache -> batcher -> shards pipeline.
+
+        One response per name, in request order.  Cache hits are answered
+        immediately; all misses are submitted to the micro-batcher in one
+        go (they coalesce into one scatter-gather scan, sharing it with any
+        concurrent single queries).  Responses are byte-identical to
+        calling :meth:`similar_images` per name.
+        """
+        with self.metrics.timer("similar.total"):
+            self._validate_code_query(k, radius)
+            codes = [self.system.cbir.code_of(name) for name in names]
+            request_k = None if k is None else k + 1
+            outcomes: "list[tuple[list, int] | None]" = [None] * len(names)
+            miss_positions: list[int] = []
+            miss_keys: list[tuple] = []
+            miss_jobs: list[CodeQuery] = []
+            for position, code in enumerate(codes):
+                key, job = self._code_key_and_job(code, k=request_k,
+                                                  radius=radius)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    cached_results, cached_used = cached
+                    outcomes[position] = (list(cached_results), cached_used)
+                else:
+                    miss_positions.append(position)
+                    miss_keys.append(key)
+                    miss_jobs.append(job)
+            if miss_jobs:
+                generation = self._generation
+                with self.metrics.timer("similar.execute"):
+                    futures = self.batcher.submit_many(miss_jobs)
+                    resolved = [future.result() for future in futures]
+                for position, key, results in zip(miss_positions, miss_keys,
+                                                  resolved):
+                    used = self._used_radius(results, radius)
+                    if generation == self._generation:
+                        self.cache.put(key, (tuple(results), used))
+                    outcomes[position] = (results, used)
+            return [shape_name_response(name, results, used, k)
+                    for name, (results, used) in zip(names, outcomes)]
 
     def similar_to_features(self, features: np.ndarray, *,
                             k: "int | None" = 10,
@@ -118,31 +188,19 @@ class ServingGateway:
 
     def _cached_code_query(self, code: np.ndarray, *, k: "int | None",
                            radius: "int | None") -> tuple[list, int]:
-        if radius is not None and radius < 0:
-            raise ValidationError(f"radius must be >= 0, got {radius}")
-        if radius is None and (k is None or k <= 0):
-            raise ValidationError("provide k > 0 or an explicit radius")
-        # A radius query executes identically whatever k the caller wants
-        # afterwards (truncation happens at the response layer), so k is
-        # dropped from the key to let mixed radius traffic share entries.
-        key = canonical_code_key(code, k=None if radius is not None else k,
-                                 radius=radius)
+        self._validate_code_query(k, radius)
+        key, job = self._code_key_and_job(code, k=k, radius=radius)
         cached = self.cache.get(key)
         if cached is not None:
             results, used = cached
             return list(results), used
         generation = self._generation
-        job = (CodeQuery(code=code, radius=radius) if radius is not None
-               else CodeQuery(code=code, k=k))
         # Queue wait + scan, as seen by the submitting thread; the scan
         # alone is recorded as similar.scan on the batch worker, so queue
         # time is the difference between the two.
         with self.metrics.timer("similar.execute"):
             results = self.batcher.submit(job).result()
-        if radius is not None:
-            used = radius
-        else:
-            used = results[-1].distance if results else 0
+        used = self._used_radius(results, radius)
         if generation == self._generation:
             self.cache.put(key, (tuple(results), used))
         return results, used

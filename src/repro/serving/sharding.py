@@ -143,22 +143,34 @@ class _MIHShard:
 
     def scan(self, queries: np.ndarray, jobs: Sequence[CodeQuery],
              chunk_rows: int) -> "list[tuple[np.ndarray, np.ndarray]]":
-        out: list[tuple[np.ndarray, np.ndarray]] = []
         empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
         with self._shard_lock:
+            if len(self._index) == 0:
+                return [empty for _ in jobs]
+            # Group jobs by (kind, parameter) and run each group through
+            # the MIH batch path — candidate gathering and verification
+            # vectorize across the group instead of looping queries.
+            out: "list[tuple[np.ndarray, np.ndarray] | None]" = [None] * len(jobs)
+            groups: dict[tuple, list[int]] = {}
             for i, job in enumerate(jobs):
-                if len(self._index) == 0:
-                    out.append(empty)
-                    continue
-                if job.radius is not None:
-                    results = self._index.search_radius(queries[i], job.radius)
+                kind = (("radius", job.radius) if job.radius is not None
+                        else ("knn", job.k))
+                groups.setdefault(kind, []).append(i)
+            for (kind, parameter), indices in groups.items():
+                group_queries = queries[np.asarray(indices, dtype=np.int64)]
+                if kind == "radius":
+                    batches = self._index.search_radius_batch(
+                        group_queries, parameter)
                 else:
-                    results = self._index.search_knn(queries[i], job.k)
-                rows = np.asarray([r.item_id for r in results], dtype=np.int64)
-                distances = np.asarray([r.distance for r in results],
-                                       dtype=np.int64)
-                out.append((rows, distances))
-        return out
+                    batches = self._index.search_knn_batch(
+                        group_queries, parameter)
+                for i, results in zip(indices, batches):
+                    rows = np.fromiter((r.item_id for r in results),
+                                       dtype=np.int64, count=len(results))
+                    distances = np.fromiter((r.distance for r in results),
+                                            dtype=np.int64, count=len(results))
+                    out[i] = (rows, distances)
+        return out  # type: ignore[return-value]
 
 
 class ShardedHammingIndex:
@@ -242,6 +254,26 @@ class ShardedHammingIndex:
     def search_radius(self, code: np.ndarray, radius: int) -> list[SearchResult]:
         """All items within ``radius``, nearest first."""
         return self.search_batch([CodeQuery(code=code, radius=radius)])[0]
+
+    def search_knn_batch(self, codes: np.ndarray, k: int,
+                         ) -> "list[list[SearchResult]]":
+        """Exact kNN for a ``(Q, W)`` batch: one scatter-gather pass."""
+        queries = np.asarray(codes, dtype=np.uint64)
+        if queries.ndim != 2:
+            raise ValidationError(
+                f"batch search expects (Q, W) packed codes, got {queries.shape}")
+        return self.search_batch([CodeQuery(code=query, k=k)
+                                  for query in queries])
+
+    def search_radius_batch(self, codes: np.ndarray, radius: int,
+                            ) -> "list[list[SearchResult]]":
+        """Radius search for a ``(Q, W)`` batch: one scatter-gather pass."""
+        queries = np.asarray(codes, dtype=np.uint64)
+        if queries.ndim != 2:
+            raise ValidationError(
+                f"batch search expects (Q, W) packed codes, got {queries.shape}")
+        return self.search_batch([CodeQuery(code=query, radius=radius)
+                                  for query in queries])
 
     def search_batch(self, jobs: Sequence[CodeQuery]) -> list[list[SearchResult]]:
         """Scatter a batch of queries to every shard, gather and merge.

@@ -30,6 +30,7 @@ boxes in ``(west, south, east, north)`` tuple/list form or the
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Any, Iterable, Mapping
 
 from ..errors import QuerySyntaxError
@@ -39,6 +40,17 @@ from ..geo.shapes import Rectangle, Shape
 _MISSING = object()
 
 _LOGICAL_OPERATORS = {"$and", "$or", "$nor"}
+
+
+@lru_cache(maxsize=256)
+def _compile_pattern(pattern: str) -> "re.Pattern":
+    """Compiled form of a ``$regex`` string operand.
+
+    A collection scan evaluates the same query document against every
+    stored document; without memoization the pattern would be recompiled
+    once per document instead of once per query.
+    """
+    return re.compile(pattern)
 
 
 def get_path(document: Mapping[str, Any], path: str) -> Any:
@@ -134,7 +146,7 @@ def _match_operator(stored: Any, op: str, operand: Any) -> bool:
     if op == "$regex":
         if not isinstance(operand, (str, re.Pattern)):
             raise QuerySyntaxError("$regex requires a string or compiled pattern")
-        pattern = re.compile(operand) if isinstance(operand, str) else operand
+        pattern = _compile_pattern(operand) if isinstance(operand, str) else operand
         return isinstance(stored, str) and pattern.search(stored) is not None
     if op == "$elemMatch":
         if not isinstance(operand, Mapping):

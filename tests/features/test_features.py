@@ -202,3 +202,45 @@ class TestPCA:
         x = rng.standard_normal((80, 6)) + 5.0
         out = PCA(3).fit_transform(x)
         np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+
+class TestBandMomentsBatch:
+    def test_bitwise_equal_to_per_band_path(self):
+        from repro.features.statistics import band_moments_batch
+        rng = np.random.default_rng(5)
+        stack = rng.random((9, 24, 24))
+        batch = band_moments_batch(stack)
+        assert batch.shape == (9, 5)
+        for row in range(stack.shape[0]):
+            assert np.array_equal(batch[row], band_moments(stack[row]))
+
+    def test_requires_3d(self):
+        from repro.features.statistics import band_moments_batch
+        with pytest.raises(ShapeError):
+            band_moments_batch(np.zeros((4, 4)))
+
+
+class TestExtractManyVectorized:
+    def test_bitwise_equal_to_per_patch_path(self, archive, extractor):
+        """The vectorized fast path must be exactly the per-patch matrix."""
+        patches = archive.patches[:25]
+        fast = extractor.extract_many(patches)
+        slow = np.stack([extractor.extract(patch) for patch in patches])
+        assert np.array_equal(fast, slow)
+
+    def test_single_patch_batch(self, archive, extractor):
+        fast = extractor.extract_many(archive.patches[:1])
+        assert np.array_equal(fast[0], extractor.extract(archive.patches[0]))
+
+    def test_ragged_shapes_fall_back(self, archive, extractor):
+        """Mixed band resolutions across patches use the per-patch path."""
+        import copy
+        a, b = archive.patches[0], archive.patches[1]
+        scaled = copy.deepcopy(b)
+        scaled.s2_bands.update(
+            {name: np.repeat(np.repeat(band, 2, axis=0), 2, axis=1)
+             for name, band in b.s2_bands.items()})
+        expected_a = extractor.extract(a)
+        matrix = extractor.extract_many([a, scaled])
+        assert np.array_equal(matrix[0], expected_a)
+        assert np.array_equal(matrix[1], extractor.extract(scaled))

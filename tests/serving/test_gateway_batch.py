@@ -1,0 +1,61 @@
+"""Gateway batch path: cache -> submit_many -> one coalesced shard scan.
+
+``ServingGateway.similar_images_batch`` must be byte-identical to looping
+``similar_images`` (which in turn matches the direct CBIR path), and cache
+hits must short-circuit without re-submitting.
+"""
+
+import pytest
+
+
+def pairs(results):
+    return [(r.item_id, r.distance) for r in results]
+
+
+@pytest.fixture(scope="module")
+def batch_names(mini_system):
+    return mini_system.archive.names[:6]
+
+
+class TestGatewayBatch:
+    def test_equals_single_gateway_queries(self, mini_system, batch_names):
+        gateway = mini_system.gateway
+        assert gateway is not None
+        gateway.cache.invalidate()
+        batch = mini_system.similar_images_batch(batch_names, k=5)
+        for name, response in zip(batch_names, batch):
+            single = mini_system.similar_images(name, k=5)
+            assert response.query_name == single.query_name == name
+            assert response.radius_used == single.radius_used
+            assert pairs(response.results) == pairs(single.results)
+
+    def test_equals_direct_cbir_path(self, mini_system, batch_names):
+        batch = mini_system.similar_images_batch(batch_names, k=4)
+        direct = mini_system.cbir.query_batch(list(batch_names), k=4)
+        for via_gateway, via_cbir in zip(batch, direct):
+            assert pairs(via_gateway.results) == pairs(via_cbir.results)
+            assert via_gateway.radius_used == via_cbir.radius_used
+
+    def test_radius_mode_equals_direct(self, mini_system, batch_names):
+        batch = mini_system.similar_images_batch(batch_names, k=None, radius=3)
+        direct = mini_system.cbir.query_batch(list(batch_names), k=None, radius=3)
+        for via_gateway, via_cbir in zip(batch, direct):
+            assert pairs(via_gateway.results) == pairs(via_cbir.results)
+
+    def test_second_call_served_from_cache(self, mini_system, batch_names):
+        gateway = mini_system.gateway
+        gateway.cache.invalidate()
+        first = mini_system.similar_images_batch(batch_names, k=5)
+        hits_before = gateway.cache.stats.hits
+        second = mini_system.similar_images_batch(batch_names, k=5)
+        assert gateway.cache.stats.hits >= hits_before + len(batch_names)
+        for a, b in zip(first, second):
+            assert pairs(a.results) == pairs(b.results)
+
+    def test_duplicate_names_share_one_scan(self, mini_system, batch_names):
+        gateway = mini_system.gateway
+        gateway.cache.invalidate()
+        name = batch_names[0]
+        batch = mini_system.similar_images_batch([name, name, name], k=5)
+        assert pairs(batch[0].results) == pairs(batch[1].results) \
+            == pairs(batch[2].results)

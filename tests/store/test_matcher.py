@@ -267,3 +267,45 @@ def test_property_in_matches_iff_intersection(doc_tags, query_tags):
     doc = {"tags": doc_tags}
     expected = bool(set(query_tags) & set(doc_tags))
     assert matches(doc, {"tags": {"$in": query_tags}}) == expected
+
+
+class TestRegexCompilationCache:
+    def test_string_pattern_compiled_once_per_query(self, monkeypatch):
+        """A collection scan evaluates one query against many documents;
+        the string pattern must hit re.compile exactly once."""
+        from repro.store import matcher as matcher_module
+
+        matcher_module._compile_pattern.cache_clear()
+        compile_calls: list[str] = []
+        real_compile = re.compile
+
+        def counting_compile(pattern, *args, **kwargs):
+            compile_calls.append(pattern)
+            return real_compile(pattern, *args, **kwargs)
+
+        monkeypatch.setattr(matcher_module.re, "compile", counting_compile)
+        try:
+            documents = [{"name": f"S2A_patch_{i}"} for i in range(50)]
+            query = {"name": {"$regex": r"^S2A_patch_\d+$"}}
+            assert all(matches(document, query) for document in documents)
+            assert compile_calls.count(r"^S2A_patch_\d+$") == 1
+        finally:
+            matcher_module._compile_pattern.cache_clear()
+
+    def test_cached_pattern_still_matches_correctly(self):
+        from repro.store.matcher import _compile_pattern
+
+        _compile_pattern.cache_clear()
+        query = {"name": {"$regex": r"_1$"}}
+        assert matches({"name": "patch_1"}, query)
+        assert not matches({"name": "patch_2"}, query)
+        assert _compile_pattern.cache_info().hits >= 1
+        _compile_pattern.cache_clear()
+
+    def test_precompiled_pattern_bypasses_cache(self):
+        from repro.store.matcher import _compile_pattern
+
+        _compile_pattern.cache_clear()
+        pattern = re.compile(r"^S2A")
+        assert matches({"name": "S2A_x"}, {"name": {"$regex": pattern}})
+        assert _compile_pattern.cache_info().misses == 0
