@@ -52,7 +52,7 @@ def test_filter_over_label_strings(benchmark, label_sets, operator):
     names, _, selection, codec = label_sets
     label_filter = LabelFilter(selection, operator, codec)
     benchmark.group = f"E12 {operator.value} over {N_DOCS} docs"
-    count = benchmark(lambda: sum(label_filter.matches_names(l) for l in names))
+    count = benchmark(lambda: sum(label_filter.matches_names(n) for n in names))
     assert count >= 0
 
 
@@ -64,7 +64,7 @@ def test_filter_over_char_codec(benchmark, label_sets, operator):
     benchmark.group = f"E12 {operator.value} over {N_DOCS} docs"
     count = benchmark(lambda: sum(label_filter.matches_chars(c) for c in chars))
     # Both paths agree (also asserted pairwise in the unit tests).
-    expected = sum(label_filter.matches_names(l) for l in names)
+    expected = sum(label_filter.matches_names(n) for n in names)
     assert count == expected
 
 

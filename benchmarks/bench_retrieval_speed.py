@@ -41,15 +41,15 @@ from itertools import combinations
 
 import numpy as np
 
-try:
-    import pytest
-except ImportError:  # standalone report mode works without pytest
-    pytest = None
-
 from repro.index import LinearScanIndex, MultiIndexHashing, pack_bits
 from repro.index.codes import unpack_bits
 from repro.index.hamming import hamming_distances_to_query
 from repro.index.results import SearchResult
+
+try:
+    import pytest
+except ImportError:  # standalone report mode works without pytest
+    pytest = None
 
 if pytest is not None:
     try:

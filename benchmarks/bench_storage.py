@@ -6,7 +6,6 @@ Expected shape: 128-bit codes are ~65x smaller than the float feature
 vectors and ~4 orders of magnitude smaller than the pixels.
 """
 
-import numpy as np
 
 from repro.index.codes import pack_bits, storage_bytes
 

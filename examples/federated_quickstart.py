@@ -1,0 +1,103 @@
+"""Federated quickstart: three independent archives behind one facade.
+
+Bootstraps three EarthQube nodes (think: three AgoraEO member archives,
+each operated independently — one even runs its own serving tier), joins
+them into a :class:`~repro.federation.FederatedEarthQube`, and runs
+federated search, CBIR, and statistics.  Then it breaks a node on purpose
+to show partial results and the circuit breaker:
+
+    python examples/federated_quickstart.py
+"""
+
+from repro import (
+    ArchiveConfig,
+    EarthQube,
+    EarthQubeConfig,
+    FederationConfig,
+    MiLaNConfig,
+    QuerySpec,
+    ServingConfig,
+    TrainConfig,
+)
+
+
+def bootstrap_node(seed: int, *, serving: bool = False) -> EarthQube:
+    config = EarthQubeConfig(
+        archive=ArchiveConfig(num_patches=150, seed=seed),
+        milan=MiLaNConfig(num_bits=64, hidden_sizes=(96,)),
+        train=TrainConfig(epochs=6, triplets_per_epoch=512, batch_size=64,
+                          seed=seed),
+        serving=ServingConfig(enabled=serving, num_shards=2),
+    )
+    return EarthQube.bootstrap(config, store_images=False)
+
+
+def main() -> None:
+    print("Bootstrapping three independent archive nodes ...")
+    systems = {
+        "vienna": bootstrap_node(1, serving=True),   # gateway-backed node
+        "berlin": bootstrap_node(2),
+        "milan": bootstrap_node(3),
+    }
+    federation = EarthQube.federate(
+        systems, FederationConfig(node_timeout_s=10.0))
+
+    # Membership + capabilities (what GET /federation/nodes serves).
+    print("\nFederation members:")
+    for node in federation.nodes():
+        caps = node["capabilities"]
+        print(f"  {node['name']}: {caps['corpus_size']} patches, "
+              f"{caps['num_bits']}-bit codes, "
+              f"serving={'on' if caps['serving_enabled'] else 'off'}, "
+              f"breaker={node['health']['state']}")
+
+    # 1. Federated attribute search: one query, every archive answers.
+    spec = QuerySpec(seasons=("Summer",), limit=5)
+    federated = federation.search(spec)
+    print(f"\nSearch [{spec.describe()}]: "
+          f"{federated.value.total_matches} matches across "
+          f"{len(federated.meta.answered)} nodes "
+          f"(answered: {federated.meta.answered})")
+    for name in federated.value.names:
+        print(f"  {name}")   # namespaced node/patch ids
+
+    # 2. Federated CBIR: resolve the query at its owning node, scatter the
+    #    code everywhere, merge deterministically.
+    query = federated.value.names[0]
+    similar = federation.similar_images(query, k=8)
+    print(f"\nSimilar to {query}:")
+    for result in similar.value.results[:8]:
+        print(f"  {result.item_id}  (distance {result.distance})")
+
+    # 3. Statistics summed across archives.
+    stats = federation.statistics_for(federated.value.names)
+    print(f"\nTop labels across the federation: {stats.value.dominant(3)}")
+
+    # 4. Fault isolation: break one node and query again.
+    print("\nBreaking node 'berlin' (simulated outage) ...")
+
+    def outage(*args, **kwargs):
+        raise ConnectionError("archive unreachable")
+
+    federation.registry.get("berlin").query_code = outage
+    degraded = federation.similar_images(query, k=8)
+    meta = degraded.meta.as_dict()
+    print(f"  answered={meta['answered']}, failed={meta['failed']}")
+    print(f"  still returned {len(degraded.value.results)} merged results")
+
+    # Repeated failures eject the node (circuit breaker opens).
+    for _ in range(3):
+        federation.similar_images(query, k=4)
+    ejected = federation.similar_images(query, k=4)
+    print(f"  after repeated failures: skipped={ejected.meta.as_dict()['skipped']}")
+
+    print("\nPer-node latency series:")
+    for node, summary in federation.metrics_snapshot()["per_node_latency"].items():
+        print(f"  {node}: count={summary['count']}, p95={summary['p95_ms']}ms")
+
+    federation.close()
+    systems["vienna"].disable_serving()
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,6 @@ held-out query split, plus relevance-feedback refinement as a bonus round:
     python examples/full_evaluation.py
 """
 
-import numpy as np
 
 from repro import ArchiveConfig, FeatureExtractor, MiLaNConfig, MiLaNHasher, TrainConfig
 from repro.baselines import (

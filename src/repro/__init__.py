@@ -27,6 +27,7 @@ from .config import (
     ArchiveConfig,
     EarthQubeConfig,
     FeatureConfig,
+    FederationConfig,
     GeoIndexConfig,
     IndexConfig,
     MiLaNConfig,
@@ -39,6 +40,7 @@ from .earthqube import EarthQube, QuerySpec
 from .earthqube.label_filter import LabelOperator
 from .errors import ReproError
 from .features import FeatureExtractor
+from .federation import FederatedEarthQube
 
 __version__ = "1.0.0"
 
@@ -57,6 +59,8 @@ __all__ = [
     "IndexConfig",
     "GeoIndexConfig",
     "ServingConfig",
+    "FederationConfig",
+    "FederatedEarthQube",
     "ReproError",
     "__version__",
 ]

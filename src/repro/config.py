@@ -176,6 +176,46 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class FederationConfig:
+    """Federation tier settings (:mod:`repro.federation`).
+
+    Controls the scatter-gather executor that fans a query out to every
+    registered :class:`~repro.federation.registry.FederatedNode`: per-node
+    timeouts and bounded retries, the circuit breaker that ejects flapping
+    nodes (and readmits them after a cooldown through a half-open probe),
+    and how patch ids are namespaced when results from several archives are
+    merged.
+
+    ``namespace_results`` is one of:
+
+    * ``"auto"`` — namespace ids as ``node/patch_name`` only when more than
+      one node is registered, so a 1-node federation stays byte-identical
+      to querying the node directly (the default),
+    * ``"always"`` / ``"never"`` — force namespacing on or off.
+    """
+
+    node_timeout_s: float = 5.0
+    max_retries: int = 1
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    namespace_results: str = "auto"
+    histogram_window: int = 1024
+
+    def __post_init__(self) -> None:
+        _require(self.node_timeout_s > 0.0,
+                 f"node_timeout_s must be positive, got {self.node_timeout_s}")
+        _require(self.max_retries >= 0, f"max_retries must be >= 0, got {self.max_retries}")
+        _require(self.breaker_failure_threshold >= 1,
+                 "breaker_failure_threshold must be >= 1")
+        _require(self.breaker_cooldown_s >= 0.0,
+                 "breaker_cooldown_s must be >= 0")
+        _require(self.namespace_results in ("auto", "always", "never"),
+                 f"namespace_results must be 'auto', 'always', or 'never', "
+                 f"got {self.namespace_results!r}")
+        _require(self.histogram_window >= 1, "histogram_window must be >= 1")
+
+
+@dataclass(frozen=True)
 class GeoIndexConfig:
     """Geohash 2D-index settings for the document store (data tier)."""
 

@@ -15,7 +15,7 @@ well-behaved HTTP 400.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..errors import ReproError, ValidationError
 from ..geo.bbox import BoundingBox
@@ -23,6 +23,9 @@ from ..geo.shapes import Circle, Polygon, Rectangle, Shape
 from .label_filter import LabelOperator
 from .query import QuerySpec
 from .server import EarthQube
+
+if TYPE_CHECKING:
+    from ..federation.facade import FederatedEarthQube
 
 _OPERATORS = {op.value: op for op in LabelOperator}
 
@@ -92,51 +95,88 @@ def parse_query_request(payload: Mapping[str, Any]) -> QuerySpec:
 
 
 class EarthQubeAPI:
-    """Dict-in/dict-out facade over a bootstrapped :class:`EarthQube`."""
+    """Dict-in/dict-out facade over a bootstrapped :class:`EarthQube`.
 
-    def __init__(self, system: EarthQube) -> None:
+    With ``federation`` set, query routes (search / similar /
+    similar_batch / statistics) scatter-gather across the federation's
+    nodes instead of hitting the local system; federated responses carry a
+    ``federation`` section (the :class:`~repro.federation.executor.
+    FederatedResultMeta`) naming the nodes that answered, failed, or were
+    skipped.  ``GET /federation/nodes`` exposes membership and health.
+    """
+
+    def __init__(self, system: "EarthQube | None" = None, *,
+                 federation: "FederatedEarthQube | None" = None) -> None:
+        if system is None and federation is None:
+            raise ValidationError(
+                "EarthQubeAPI needs a system, a federation, or both")
         self.system = system
+        self.federation = federation
 
     @staticmethod
     def _error(exc: Exception) -> dict:
         return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
 
+    def _require_system(self) -> EarthQube:
+        if self.system is None:
+            raise ValidationError("this route needs a local system "
+                                  "(the API was built federation-only)")
+        return self.system
+
     def search(self, request: Mapping[str, Any]) -> dict:
-        """POST /search — query-panel search."""
+        """POST /search — query-panel search (federated when configured)."""
         try:
             spec = parse_query_request(request)
-            response = self.system.search(spec)
+            if self.federation is not None:
+                federated = self.federation.search(spec)
+                response, meta = federated.value, federated.meta
+            else:
+                response, meta = self._require_system().search(spec), None
         except ReproError as exc:
             return self._error(exc)
-        return {
+        payload = {
             "ok": True,
             "total_matches": response.total_matches,
             "plan": response.plan,
             "names": response.names,
             "documents": response.documents,
         }
+        if meta is not None:
+            payload["federation"] = meta.as_dict()
+        return payload
 
     def similar(self, request: Mapping[str, Any]) -> dict:
-        """POST /similar — CBIR from an archive image name."""
+        """POST /similar — CBIR from an archive image name.
+
+        Under federation the name may be namespaced (``node/patch_name``);
+        a bare name resolves to the first node that indexes it.
+        """
         try:
             if not isinstance(request, Mapping) or "name" not in request:
                 raise ValidationError("similar request needs a 'name' field")
+            name = str(request["name"])
             k = request.get("k", 10)
             radius = request.get("radius")
-            if radius is not None:
-                result = self.system.similar_images(str(request["name"]),
-                                                    k=None, radius=int(radius))
+            kwargs = ({"k": None, "radius": int(radius)} if radius is not None
+                      else {"k": int(k)})
+            meta = None
+            if self.federation is not None:
+                federated = self.federation.similar_images(name, **kwargs)
+                result, meta = federated.value, federated.meta
             else:
-                result = self.system.similar_images(str(request["name"]), k=int(k))
+                result = self._require_system().similar_images(name, **kwargs)
         except ReproError as exc:
             return self._error(exc)
-        return {
+        payload = {
             "ok": True,
             "query": result.query_name,
             "radius_used": result.radius_used,
             "results": [{"name": str(r.item_id), "distance": r.distance}
                         for r in result.results],
         }
+        if meta is not None:
+            payload["federation"] = meta.as_dict()
+        return payload
 
     def similar_batch(self, request: Mapping[str, Any]) -> dict:
         """POST /similar/batch — CBIR for many archive images in one call.
@@ -153,17 +193,21 @@ class EarthQubeAPI:
             if not isinstance(names, (list, tuple)) or not names:
                 raise ValidationError(
                     "similar_batch request needs a non-empty 'names' list")
+            names = [str(name) for name in names]
             k = request.get("k", 10)
             radius = request.get("radius")
-            if radius is not None:
-                responses = self.system.similar_images_batch(
-                    [str(name) for name in names], k=None, radius=int(radius))
+            kwargs = ({"k": None, "radius": int(radius)} if radius is not None
+                      else {"k": int(k)})
+            meta = None
+            if self.federation is not None:
+                federated = self.federation.similar_images_batch(names, **kwargs)
+                responses, meta = federated.value, federated.meta
             else:
-                responses = self.system.similar_images_batch(
-                    [str(name) for name in names], k=int(k))
+                responses = self._require_system().similar_images_batch(
+                    names, **kwargs)
         except ReproError as exc:
             return self._error(exc)
-        return {
+        payload = {
             "ok": True,
             "count": len(responses),
             "queries": [{
@@ -173,6 +217,9 @@ class EarthQubeAPI:
                             for r in response.results],
             } for response in responses],
         }
+        if meta is not None:
+            payload["federation"] = meta.as_dict()
+        return payload
 
     def statistics(self, request: Mapping[str, Any]) -> dict:
         """POST /statistics — label statistics for a list of names."""
@@ -180,38 +227,69 @@ class EarthQubeAPI:
             names = request.get("names") if isinstance(request, Mapping) else None
             if not isinstance(names, (list, tuple)) or not names:
                 raise ValidationError("statistics request needs a non-empty 'names' list")
-            stats = self.system.statistics_for(list(names))
+            meta = None
+            if self.federation is not None:
+                federated = self.federation.statistics_for(list(names))
+                stats, meta = federated.value, federated.meta
+            else:
+                stats = self._require_system().statistics_for(list(names))
         except ReproError as exc:
             return self._error(exc)
-        return {
+        payload = {
             "ok": True,
             "total_images": stats.total_images,
             "bars": [{"label": b.label, "count": b.count, "color": b.color}
                      for b in stats],
         }
+        if meta is not None:
+            payload["federation"] = meta.as_dict()
+        return payload
 
     def feedback(self, request: Mapping[str, Any]) -> dict:
-        """POST /feedback — store anonymous feedback."""
+        """POST /feedback — store anonymous feedback (always node-local)."""
         try:
             if not isinstance(request, Mapping) or "text" not in request:
                 raise ValidationError("feedback request needs a 'text' field")
-            self.system.submit_feedback(str(request["text"]),
-                                        category=request.get("category", "comment"))
+            self._require_system().submit_feedback(
+                str(request["text"]),
+                category=request.get("category", "comment"))
         except ReproError as exc:
             return self._error(exc)
         return {"ok": True}
 
     def describe(self) -> dict:
-        """GET /describe — system summary."""
-        return {"ok": True, **self.system.describe()}
+        """GET /describe — system (and federation) summary."""
+        payload: dict = {"ok": True}
+        if self.system is not None:
+            payload.update(self.system.describe())
+        if self.federation is not None:
+            payload["federation"] = self.federation.describe()
+        return payload
+
+    def federation_nodes(self) -> dict:
+        """GET /federation/nodes — membership, capabilities, health.
+
+        Each entry names one node with its capability descriptor
+        (collections, code bit-width, corpus size) and circuit-breaker
+        health state; ``federated: false`` when no federation is wired.
+        """
+        if self.federation is None:
+            return {"ok": True, "federated": False, "count": 0, "nodes": []}
+        nodes = self.federation.nodes()
+        return {"ok": True, "federated": True, "count": len(nodes),
+                "nodes": nodes}
 
     def metrics(self) -> dict:
-        """GET /metrics — serving-tier observability snapshot.
+        """GET /metrics — serving + federation observability snapshot.
 
-        Latency percentiles, QPS, cache hit ratios, and shard occupancy
-        when the serving tier is enabled; ``serving: null`` otherwise.
+        ``serving``: latency percentiles, QPS, cache hit/miss accounting,
+        micro-batcher coalescing stats, and shard occupancy when the
+        serving tier is enabled (``null`` otherwise).  ``federation``:
+        scatter-gather latency with the per-node series when federated.
         """
-        gateway = self.system.gateway
-        if gateway is None:
-            return {"ok": True, "serving": None}
-        return {"ok": True, "serving": gateway.metrics_snapshot()}
+        payload: dict = {"ok": True, "serving": None}
+        if self.system is not None and self.system.gateway is not None:
+            payload["serving"] = self.system.gateway.metrics_snapshot()
+        if self.federation is not None:
+            payload["federation"] = self.federation.metrics_snapshot()
+        return payload

@@ -14,7 +14,7 @@ a Hamming index (MIH by default) for the radius/kNN search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -115,6 +115,10 @@ class CBIRService:
             return self._code_by_name[name]
         except KeyError:
             raise UnknownPatchError(f"no indexed image named {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        """Is an image of that name indexed? (Owner lookup for federation.)"""
+        return name in self._code_by_name
 
     def indexed_items(self) -> "tuple[list[str], np.ndarray]":
         """Names and packed codes in insertion (index row) order.
@@ -233,6 +237,28 @@ class CBIRService:
                                                used_list):
                 responses[position] = SimilarityResponse(None, results, used)
         return responses  # type: ignore[return-value]
+
+    def query_code(self, code: np.ndarray, *, k: "int | None" = None,
+                   radius: "int | None" = None) -> "tuple[list[SearchResult], int]":
+        """Raw packed-code search: ``(results, radius_used)``.
+
+        The federation tier's per-node entry point — a remote peer resolves
+        a query to a code once, then every member archive answers the same
+        code.  Semantics match :meth:`_run` exactly (no self-match
+        handling; response shaping is the caller's job).
+        """
+        return self._run(np.asarray(code, dtype=np.uint64), k=k, radius=radius)
+
+    def query_codes_batch(self, codes: np.ndarray, *, k: "int | None" = None,
+                          radius: "int | None" = None,
+                          ) -> "list[tuple[list[SearchResult], int]]":
+        """Batch :meth:`query_code`: one ``(results, radius_used)`` per row."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        if codes.ndim != 2:
+            raise ValidationError(
+                f"batch code query expects (Q, W) packed codes, got {codes.shape}")
+        batches, used_list = self._run_batch(codes, k=k, radius=radius)
+        return list(zip(batches, used_list))
 
     def _run_batch(self, codes: np.ndarray, *, k: "int | None",
                    radius: "int | None",

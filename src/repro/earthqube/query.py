@@ -10,7 +10,7 @@ selected labels (switch off: full control).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import date
 
 from ..bigearthnet.clc import get_nomenclature

@@ -9,7 +9,7 @@ indexed store form — then executes it and wraps the results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..bigearthnet.labels import LabelCharCodec
 from ..store.database import Database, METADATA

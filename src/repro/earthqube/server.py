@@ -30,7 +30,7 @@ from .cart import DownloadCart
 from .cbir import CBIRService, SimilarityResponse
 from .feedback import FeedbackService
 from .ingest import decode_rendered_document, ingest_archive
-from .markers import Marker, MarkerClusterer, markers_from_documents
+from .markers import MarkerClusterer, markers_from_documents
 from .query import QuerySpec
 from .search import SearchResponse, SearchService
 from .statistics import LabelStatistics, label_statistics
@@ -119,6 +119,24 @@ class EarthQube:
         if self.gateway is not None:
             self.gateway.close()
             self.gateway = None
+
+    # ------------------------------------------------------------------ #
+    # Federation tier (repro.federation): multi-node scatter-gather
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def federate(nodes: "dict[str, EarthQube]", config=None):
+        """Assemble a :class:`~repro.federation.FederatedEarthQube`.
+
+        ``nodes`` maps federation-unique node names to bootstrapped
+        systems; ``config`` is an optional
+        :class:`~repro.config.FederationConfig`.  Each node keeps its own
+        serving tier (cache, batching, shards) — the federation scatters
+        to it and merges deterministically across nodes.
+        """
+        from ..federation.facade import FederatedEarthQube
+
+        return FederatedEarthQube(nodes, config)
 
     # ------------------------------------------------------------------ #
     # Query panel / result panel services

@@ -1,0 +1,51 @@
+"""The federation tier: multi-node EarthQube behind one query surface.
+
+AgoraEO is pitched as a *decentralized* EO ecosystem: MILAN-style image
+search runs across independently operated archives.  This package turns N
+independent :class:`~repro.earthqube.server.EarthQube` instances into one
+queryable system:
+
+* :mod:`repro.federation.registry` — named :class:`FederatedNode` handles
+  with capability descriptors and health state,
+* :mod:`repro.federation.breaker` — the per-node circuit breaker that
+  ejects flapping archives and readmits them after a cooldown,
+* :mod:`repro.federation.executor` — the scatter-gather planner/executor:
+  thread-pool fan-out with per-node timeouts, bounded retries, and
+  explicit :class:`FederatedResultMeta` coverage accounting,
+* :mod:`repro.federation.merge` — deterministic cross-node merging by the
+  global ``(distance, node order, insertion row)`` tie-break (a 1-node
+  federation is byte-identical to the direct path) with ``node/patch``
+  namespacing,
+* :mod:`repro.federation.facade` — :class:`FederatedEarthQube`, the
+  EarthQube-shaped entry point that composes with each node's serving
+  tier (sharding, micro-batching, caching).
+"""
+
+from .breaker import CircuitBreaker
+from .executor import FederatedExecutor, FederatedResultMeta, NodeOutcome
+from .facade import FederatedEarthQube, FederatedResponse
+from .merge import (
+    merge_search,
+    merge_similarity,
+    merge_statistics,
+    namespaced_id,
+    split_namespaced,
+)
+from .registry import FederatedNode, NodeCapabilities, NodeRegistry
+
+__all__ = [
+    "CircuitBreaker",
+    "FederatedEarthQube",
+    "FederatedExecutor",
+    "FederatedNode",
+    "FederatedResponse",
+    "FederatedResultMeta",
+    "NodeCapabilities",
+    "NodeOutcome",
+    "NodeRegistry",
+    "merge_search",
+    "merge_similarity",
+    "merge_statistics",
+    "namespaced_id",
+    "split_namespaced",
+]

@@ -1,0 +1,110 @@
+"""Per-node circuit breaker for the federation executor.
+
+A federated query must not let one flapping archive drag every request to
+its timeout: after ``failure_threshold`` consecutive failures the breaker
+*opens* and the executor skips the node outright (reported in the result
+meta, not silently).  Once ``cooldown_s`` has elapsed the breaker moves to
+*half-open* and admits exactly one probe query; a success closes the
+breaker (the node is readmitted), a failure re-opens it for another
+cooldown.
+
+The clock is injectable so ejection/readmission cycles are testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..errors import ValidationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe closed -> open -> half-open -> closed state machine."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_s: float = 30.0,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_s < 0.0:
+            raise ValidationError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        # Lifetime accounting, exported through the registry snapshot.
+        self.total_successes = 0
+        self.total_failures = 0
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; an elapsed cooldown surfaces as ``half_open``."""
+        with self._lock:
+            if (self._state == OPEN
+                    and self._clock() - self._opened_at >= self.cooldown_s):
+                return HALF_OPEN
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request be sent to this node right now?
+
+        Closed: always.  Open: only once the cooldown has elapsed, and then
+        only one probe at a time (the half-open trial).
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._clock() - self._opened_at < self.cooldown_s:
+                return False
+            if self._probe_in_flight:
+                return False
+            self._state = HALF_OPEN
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """The call succeeded: close the breaker and reset the streak."""
+        with self._lock:
+            self.total_successes += 1
+            self._consecutive_failures = 0
+            self._state = CLOSED
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """The call failed: count it, opening at the threshold.
+
+        A failure while half-open re-opens immediately (the probe burnt its
+        one chance); the cooldown restarts from now.
+        """
+        with self._lock:
+            self.total_failures += 1
+            self._consecutive_failures += 1
+            was_open = self._state != CLOSED
+            if was_open or self._consecutive_failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    self.times_opened += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+            self._probe_in_flight = False
+
+    def snapshot(self) -> dict:
+        """JSON-compatible state for ``GET /federation/nodes``."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "total_successes": self.total_successes,
+            "total_failures": self.total_failures,
+            "times_opened": self.times_opened,
+        }

@@ -1,0 +1,298 @@
+"""FederatedEarthQube: N independent archives behind one query surface.
+
+The facade mirrors the :class:`~repro.earthqube.server.EarthQube` query
+API — ``search``, ``similar_images``, ``similar_images_batch``,
+``statistics_for`` — but executes each call as a scatter-gather across
+every registered node and returns a :class:`FederatedResponse`: the merged
+value (byte-identical in type and, for one node, in content, to the direct
+call) plus the :class:`~repro.federation.executor.FederatedResultMeta`
+that makes partial coverage explicit.
+
+CBIR queries resolve the query image to its *owning* node (by namespaced
+id ``node/patch_name``, or by scanning registration order for a bare
+name), read the packed code there, and scatter the code to every node with
+a compatible bit-width — each node answering through its own serving tier
+(cache, micro-batcher, shards) when enabled.  The owning node's self-match
+is dropped globally, exactly like the single-system paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..config import FederationConfig
+from ..earthqube.cbir import SimilarityResponse, shape_name_response
+from ..earthqube.query import QuerySpec
+from ..errors import UnknownPatchError, ValidationError
+from .executor import (
+    SKIP_INCOMPATIBLE,
+    SKIP_NO_DATA,
+    FederatedExecutor,
+    FederatedResultMeta,
+)
+from .merge import (
+    merge_search,
+    merge_similarity,
+    merge_statistics,
+    namespaced_id,
+    split_namespaced,
+)
+from .registry import FederatedNode, NodeRegistry
+
+if TYPE_CHECKING:
+    from ..earthqube.server import EarthQube
+
+
+@dataclass
+class FederatedResponse:
+    """A merged result plus the coverage meta that qualifies it."""
+
+    value: Any
+    meta: FederatedResultMeta
+
+
+class FederatedEarthQube:
+    """Scatter-gather facade over a registry of EarthQube nodes."""
+
+    def __init__(self,
+                 nodes: "Mapping[str, EarthQube] | Iterable[FederatedNode] | None" = None,
+                 config: "FederationConfig | None" = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or FederationConfig()
+        self.registry = NodeRegistry(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            clock=clock)
+        self.executor = FederatedExecutor(self.registry, self.config, clock=clock)
+        self.metrics = self.executor.metrics
+        if nodes is not None:
+            if isinstance(nodes, Mapping):
+                for name, system in nodes.items():
+                    self.add_node(name, system)
+            else:
+                for node in nodes:
+                    self.registry.add(node)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, name: str, system: "EarthQube") -> FederatedNode:
+        """Register one EarthQube instance under a federation-unique name."""
+        return self.registry.add(FederatedNode(name, system))
+
+    def remove_node(self, name: str) -> None:
+        self.registry.remove(name)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.registry)
+
+    def nodes(self) -> list[dict]:
+        """Per-node capability + health snapshot (``GET /federation/nodes``)."""
+        return self.registry.snapshot()
+
+    def _namespacing(self) -> bool:
+        mode = self.config.namespace_results
+        if mode == "always":
+            return True
+        if mode == "never":
+            return False
+        return len(self.registry) > 1
+
+    # ------------------------------------------------------------------ #
+    # Name resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve_image(self, name: str) -> tuple[FederatedNode, str]:
+        """The (owning node, bare name) of a federated patch id.
+
+        A ``node/patch_name`` id routes to that node; a bare name is looked
+        up across nodes in registration order and the first archive that
+        indexes it owns the query (deterministic under duplicates).
+        """
+        prefix, bare = split_namespaced(name)
+        if prefix is not None and prefix in self.registry:
+            node = self.registry.get(prefix)
+            if not node.has_image(bare):
+                raise UnknownPatchError(
+                    f"node {prefix!r} has no indexed image named {bare!r}")
+            return node, bare
+        for node in self.registry:
+            if node.has_image(name):
+                return node, name
+        raise UnknownPatchError(
+            f"no federation node indexes an image named {name!r}")
+
+    def _canonical_id(self, node: FederatedNode, bare: str,
+                      namespace: bool) -> str:
+        return namespaced_id(node.name, bare) if namespace else bare
+
+    def _compatible_targets(self, num_bits: int,
+                            ) -> tuple[list[FederatedNode], dict[str, str]]:
+        """Nodes whose code width matches the query's, rest pre-skipped."""
+        targets: list[FederatedNode] = []
+        skipped: dict[str, str] = {}
+        for node in self.registry:
+            if node.system.hasher.num_bits == num_bits:
+                targets.append(node)
+            else:
+                skipped[node.name] = SKIP_INCOMPATIBLE
+        return targets, skipped
+
+    def _require_nodes(self) -> None:
+        if len(self.registry) == 0:
+            raise ValidationError("the federation has no registered nodes")
+
+    @staticmethod
+    def _validate_code_query(k: "int | None", radius: "int | None") -> None:
+        """Reject malformed client input *before* the scatter.
+
+        A bad ``k``/``radius`` must surface as a ValidationError (an HTTP
+        400), exactly like the direct path — not execute on the nodes,
+        where each per-node exception would be recorded as a node failure
+        and bad client input could trip healthy nodes' circuit breakers.
+        """
+        if radius is not None and radius < 0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        if radius is None and (k is None or k <= 0):
+            raise ValidationError("provide k > 0 or an explicit radius")
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def search(self, spec: QuerySpec) -> FederatedResponse:
+        """Scatter a query-panel search; merge with global pagination.
+
+        Each node is asked for the head of its result set (``skip=0``,
+        ``limit=skip+limit``) so any global page can be cut from the
+        concatenation; the original skip/limit apply to the merged list.
+        """
+        self._require_nodes()
+        node_limit = None if spec.limit is None else spec.skip + spec.limit
+        node_spec = replace(spec, skip=0, limit=node_limit)
+        outcomes, meta = self.executor.scatter(lambda node: node.search(node_spec))
+        merged = merge_search(
+            [(o.node_name, o.value) for o in outcomes if o.ok],
+            skip=spec.skip, limit=spec.limit, namespace=self._namespacing())
+        return FederatedResponse(merged, meta)
+
+    def similar_images(self, name: str, *, k: "int | None" = 10,
+                       radius: "int | None" = None) -> FederatedResponse:
+        """Federated CBIR from an archive image anywhere in the federation."""
+        self._require_nodes()
+        owner, bare = self.resolve_image(name)
+        if radius is None and k is None:
+            radius = owner.default_radius()
+        self._validate_code_query(k, radius)
+        code = owner.code_of(bare)
+        request_k = None if k is None else k + 1
+        namespace = self._namespacing()
+        targets, pre_skipped = self._compatible_targets(
+            owner.system.hasher.num_bits)
+        outcomes, meta = self.executor.scatter(
+            lambda node: node.query_code(code, k=request_k, radius=radius),
+            nodes=targets, pre_skipped=pre_skipped)
+        merged, used = merge_similarity(
+            [(o.node_name, o.value[0], o.value[1]) for o in outcomes if o.ok],
+            k=request_k, radius=radius, namespace=namespace)
+        query_id = self._canonical_id(owner, bare, namespace)
+        return FederatedResponse(
+            shape_name_response(query_id, merged, used, k), meta)
+
+    def similar_images_batch(self, names: "list[str]", *,
+                             k: "int | None" = 10,
+                             radius: "int | None" = None) -> FederatedResponse:
+        """Batch federated CBIR: one merged response per name, in order.
+
+        All query codes are resolved up front (each at its owning node),
+        then every compatible node answers the whole batch through its
+        native batch path — one scatter per federation, one coalesced scan
+        per node.
+        """
+        self._require_nodes()
+        names = list(names)
+        if not names:
+            raise ValidationError("similar_images_batch needs at least one name")
+        resolved = [self.resolve_image(name) for name in names]
+        widths = {owner.system.hasher.num_bits for owner, _ in resolved}
+        if len(widths) > 1:
+            raise ValidationError(
+                f"batch queries span incompatible code widths {sorted(widths)}")
+        if radius is None and k is None:
+            radius = resolved[0][0].default_radius()
+        self._validate_code_query(k, radius)
+        codes = np.stack([owner.code_of(bare) for owner, bare in resolved])
+        request_k = None if k is None else k + 1
+        namespace = self._namespacing()
+        targets, pre_skipped = self._compatible_targets(widths.pop())
+        outcomes, meta = self.executor.scatter(
+            lambda node: node.query_codes_batch(codes, k=request_k,
+                                                radius=radius),
+            nodes=targets, pre_skipped=pre_skipped)
+        answered = [o for o in outcomes if o.ok]
+        responses: list[SimilarityResponse] = []
+        for position, (owner, bare) in enumerate(resolved):
+            merged, used = merge_similarity(
+                [(o.node_name, o.value[position][0], o.value[position][1])
+                 for o in answered],
+                k=request_k, radius=radius, namespace=namespace)
+            query_id = self._canonical_id(owner, bare, namespace)
+            responses.append(shape_name_response(query_id, merged, used, k))
+        return FederatedResponse(responses, meta)
+
+    def statistics_for(self, names: "list[str]") -> FederatedResponse:
+        """Label statistics over federated names, summed across archives."""
+        self._require_nodes()
+        groups: dict[str, list[str]] = {}
+        for name in names:
+            owner, bare = self.resolve_image(name)
+            groups.setdefault(owner.name, []).append(bare)
+        owners = [node for node in self.registry if node.name in groups]
+        pre_skipped = {node.name: SKIP_NO_DATA for node in self.registry
+                       if node.name not in groups}
+        outcomes, meta = self.executor.scatter(
+            lambda node: node.statistics_for(groups[node.name]), nodes=owners,
+            pre_skipped=pre_skipped)
+        merged = merge_statistics(o.value for o in outcomes if o.ok)
+        return FederatedResponse(merged, meta)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict:
+        """Federation summary: members, capabilities, health, config."""
+        snapshot = self.nodes()
+        return {
+            "nodes": snapshot,
+            "num_nodes": len(snapshot),
+            "total_corpus": sum(entry["capabilities"]["corpus_size"]
+                                for entry in snapshot),
+            "namespace_results": self.config.namespace_results,
+            "node_timeout_s": self.config.node_timeout_s,
+            "max_retries": self.config.max_retries,
+            "breaker_failure_threshold": self.config.breaker_failure_threshold,
+            "breaker_cooldown_s": self.config.breaker_cooldown_s,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Executor metrics plus the per-node latency series family."""
+        snapshot = self.metrics.snapshot()
+        snapshot["per_node_latency"] = self.metrics.family("node")
+        return snapshot
+
+    def close(self) -> None:
+        """Shut down the scatter-gather pool (nodes stay running)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedEarthQube":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,130 @@
+"""Deterministic cross-node result merging.
+
+Every per-node result list arrives already ordered by the node's own
+``(distance, insertion row)`` tie-break.  The federation re-merges them by
+the *global* ``(distance, node order, insertion row)`` tie-break: results
+are concatenated in registry (node) order and stably sorted by distance,
+so equal-distance results keep node order, and within a node keep
+insertion-row order.  Consequences:
+
+* merging a single node's results is the identity — a 1-node federation is
+  byte-identical to querying the node directly,
+* the merged ranking is independent of which node answered first (thread
+  scheduling never changes a result).
+
+When the federation spans several archives, patch names are no longer
+unique; :func:`namespaced_id` disambiguates them as ``node/patch_name``
+(node names themselves may not contain ``/``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..earthqube.search import SearchResponse
+from ..earthqube.statistics import LabelBar, LabelStatistics
+from ..index.results import SearchResult
+from .registry import NAMESPACE_SEPARATOR
+
+# One per-node CBIR answer: (node name, ranked results, radius used).
+NodeSimilarity = "tuple[str, list[SearchResult], int]"
+
+
+def namespaced_id(node_name: str, item_id: object) -> str:
+    """The federation-wide id of one node's patch: ``node/patch_name``."""
+    return f"{node_name}{NAMESPACE_SEPARATOR}{item_id}"
+
+
+def split_namespaced(name: str) -> "tuple[str | None, str]":
+    """``"node/patch"`` -> ``("node", "patch")``; bare names -> ``(None, name)``.
+
+    Only the first separator splits (patch names may themselves contain
+    ``/``); whether the prefix is actually a registered node is the
+    caller's decision.
+    """
+    if NAMESPACE_SEPARATOR in name:
+        node, _, rest = name.partition(NAMESPACE_SEPARATOR)
+        return node, rest
+    return None, name
+
+
+def merge_similarity(per_node: "Sequence[tuple[str, list, int]]", *,
+                     k: "int | None" = None, radius: "int | None" = None,
+                     namespace: bool = False) -> "tuple[list[SearchResult], int]":
+    """Merge per-node CBIR rankings into one global ranking.
+
+    ``per_node`` must be in registry order.  For kNN queries (``radius is
+    None``) the merged ranking is truncated back to ``k`` and the radius
+    used is the last kept distance — exactly how the single-node paths
+    report it.  Radius queries keep everything within the radius.
+    """
+    merged: list[SearchResult] = []
+    for node_name, results, _used in per_node:
+        if namespace:
+            merged.extend(SearchResult(namespaced_id(node_name, r.item_id),
+                                       r.distance) for r in results)
+        else:
+            merged.extend(results)
+    # Stable sort by distance == global (distance, node order, row) order.
+    merged.sort(key=lambda r: r.distance)
+    if radius is not None:
+        return merged, radius
+    if k is not None:
+        merged = merged[:k]
+    return merged, (merged[-1].distance if merged else 0)
+
+
+def merge_search(per_node: "Sequence[tuple[str, SearchResponse]]", *,
+                 skip: int = 0, limit: "int | None" = None,
+                 namespace: bool = False) -> SearchResponse:
+    """Merge per-node search pages into one globally paginated response.
+
+    The caller queries every node with ``skip=0`` and ``limit=skip+limit``
+    (enough rows that any global page can be cut), then this applies the
+    *global* skip/limit over the concatenation in registry order.  With one
+    answering node the result is byte-identical to that node's own
+    response to the original query.
+    """
+    documents: list[dict] = []
+    total_matches = 0
+    candidates = 0
+    plans: list[str] = []
+    for node_name, response in per_node:
+        if namespace:
+            documents.extend({**doc, "name": namespaced_id(node_name, doc["name"])}
+                             for doc in response.documents)
+        else:
+            documents.extend(response.documents)
+        total_matches += response.total_matches
+        candidates += response.candidates_examined
+        plans.append(response.plan)
+    if skip:
+        documents = documents[skip:]
+    if limit is not None:
+        documents = documents[:limit]
+    plan = plans[0] if len(plans) == 1 else "federated(" + ";".join(plans) + ")"
+    return SearchResponse(documents=documents, total_matches=total_matches,
+                          plan=plan, candidates_examined=candidates)
+
+
+def merge_statistics(per_node: "Iterable[LabelStatistics]") -> LabelStatistics:
+    """Sum label occurrence counts across archives.
+
+    CLC labels are a shared nomenclature, so bars merge by label (never
+    namespaced); colors are stable per label.  Bars re-sort by
+    ``(-count, label)`` — the same key :func:`~repro.earthqube.statistics.
+    label_statistics` uses, so merging one node's statistics is the
+    identity.
+    """
+    counts: dict[str, int] = {}
+    colors: dict[str, str] = {}
+    total_images = 0
+    for stats in per_node:
+        total_images += stats.total_images
+        for bar in stats:
+            counts[bar.label] = counts.get(bar.label, 0) + bar.count
+            colors.setdefault(bar.label, bar.color)
+    bars = [LabelBar(label=label, count=count, color=colors[label])
+            for label, count in counts.items()]
+    bars.sort(key=lambda bar: (-bar.count, bar.label))
+    return LabelStatistics(bars=bars, total_images=total_images)

@@ -138,34 +138,59 @@ class ServingGateway:
             self._validate_code_query(k, radius)
             codes = [self.system.cbir.code_of(name) for name in names]
             request_k = None if k is None else k + 1
-            outcomes: "list[tuple[list, int] | None]" = [None] * len(names)
-            miss_positions: list[int] = []
-            miss_keys: list[tuple] = []
-            miss_jobs: list[CodeQuery] = []
-            for position, code in enumerate(codes):
-                key, job = self._code_key_and_job(code, k=request_k,
-                                                  radius=radius)
-                cached = self.cache.get(key)
-                if cached is not None:
-                    cached_results, cached_used = cached
-                    outcomes[position] = (list(cached_results), cached_used)
-                else:
-                    miss_positions.append(position)
-                    miss_keys.append(key)
-                    miss_jobs.append(job)
-            if miss_jobs:
-                generation = self._generation
-                with self.metrics.timer("similar.execute"):
-                    futures = self.batcher.submit_many(miss_jobs)
-                    resolved = [future.result() for future in futures]
-                for position, key, results in zip(miss_positions, miss_keys,
-                                                  resolved):
-                    used = self._used_radius(results, radius)
-                    if generation == self._generation:
-                        self.cache.put(key, (tuple(results), used))
-                    outcomes[position] = (results, used)
+            outcomes = self.query_codes_batch(codes, k=request_k, radius=radius)
             return [shape_name_response(name, results, used, k)
                     for name, (results, used) in zip(names, outcomes)]
+
+    def query_code(self, code: np.ndarray, *, k: "int | None" = None,
+                   radius: "int | None" = None) -> tuple[list, int]:
+        """Raw packed-code search: ``(results, radius_used)``.
+
+        The federation tier's per-node entry point — the same
+        cache -> batcher -> shards pipeline as :meth:`similar_images`, but
+        without name resolution or self-match shaping (the federated
+        caller shapes the merged response itself).
+        """
+        return self._cached_code_query(np.asarray(code, dtype=np.uint64),
+                                       k=k, radius=radius)
+
+    def query_codes_batch(self, codes, *, k: "int | None" = None,
+                          radius: "int | None" = None,
+                          ) -> "list[tuple[list, int]]":
+        """Batch :meth:`query_code`: one ``(results, radius_used)`` per code.
+
+        Cache hits are answered immediately; all misses are submitted to
+        the micro-batcher in one go (they coalesce into one scatter-gather
+        scan, sharing it with any concurrent single queries).
+        """
+        self._validate_code_query(k, radius)
+        codes = [np.asarray(code, dtype=np.uint64) for code in codes]
+        outcomes: "list[tuple[list, int] | None]" = [None] * len(codes)
+        miss_positions: list[int] = []
+        miss_keys: list[tuple] = []
+        miss_jobs: list[CodeQuery] = []
+        for position, code in enumerate(codes):
+            key, job = self._code_key_and_job(code, k=k, radius=radius)
+            cached = self.cache.get(key)
+            if cached is not None:
+                cached_results, cached_used = cached
+                outcomes[position] = (list(cached_results), cached_used)
+            else:
+                miss_positions.append(position)
+                miss_keys.append(key)
+                miss_jobs.append(job)
+        if miss_jobs:
+            generation = self._generation
+            with self.metrics.timer("similar.execute"):
+                futures = self.batcher.submit_many(miss_jobs)
+                resolved = [future.result() for future in futures]
+            for position, key, results in zip(miss_positions, miss_keys,
+                                              resolved):
+                used = self._used_radius(results, radius)
+                if generation == self._generation:
+                    self.cache.put(key, (tuple(results), used))
+                outcomes[position] = (results, used)
+        return outcomes  # type: ignore[return-value]
 
     def similar_to_features(self, features: np.ndarray, *,
                             k: "int | None" = 10,
@@ -269,11 +294,35 @@ class ServingGateway:
     # ------------------------------------------------------------------ #
 
     def metrics_snapshot(self) -> dict:
-        """Everything observable in one JSON-compatible dict."""
+        """Everything observable in one JSON-compatible dict.
+
+        Cache hit/miss accounting and micro-batcher coalescing stats are
+        surfaced twice: as structured ``cache``/``batcher`` sections and
+        flattened into the standard ``counters``/``gauges`` maps, so a
+        metrics scraper that only understands the flat series still sees
+        them.
+        """
         self._update_occupancy()
         snapshot = self.metrics.snapshot()
-        snapshot["cache"] = self.cache.stats.as_dict()
-        snapshot["batcher"] = self.batcher.stats
+        cache_stats = self.cache.stats.as_dict()
+        batcher_stats = self.batcher.stats
+        snapshot["cache"] = cache_stats
+        snapshot["batcher"] = batcher_stats
+        snapshot["counters"].update({
+            "cache.hits": cache_stats["hits"],
+            "cache.misses": cache_stats["misses"],
+            "cache.evictions": cache_stats["evictions"],
+            "cache.expirations": cache_stats["expirations"],
+            "cache.invalidations": cache_stats["invalidations"],
+            "batch.requests": batcher_stats["requests"],
+            "batch.batches": batcher_stats["batches"],
+        })
+        snapshot["gauges"].update({
+            "cache.hit_ratio": cache_stats["hit_ratio"],
+            "batch.mean_size": batcher_stats["mean_batch_size"],
+            "batch.largest": batcher_stats["largest_batch"],
+            "batch.queue_depth": batcher_stats["queue_depth"],
+        })
         snapshot["shards"] = {
             "count": self.index.num_shards,
             "backend": self.index.backend,

@@ -164,6 +164,24 @@ class MetricsRegistry:
         finally:
             self.histogram(name).record(time.perf_counter() - start)
 
+    def family(self, prefix: str) -> dict:
+        """Summaries of every histogram named ``<prefix>.<label>``, by label.
+
+        The labeled-series convention: per-entity latency series (one
+        histogram per federation node, for example) are registered as
+        ``prefix.label`` and read back as one ``{label: summary}`` family —
+        a dependency-free stand-in for Prometheus labels::
+
+            with metrics.timer(f"node.{node_name}"):
+                query(node)
+            metrics.family("node")   # {node_name: {count, p50_ms, ...}}
+        """
+        with self._lock:
+            histograms = {name: h for name, h in self._histograms.items()
+                          if name.startswith(prefix + ".")}
+        return {name[len(prefix) + 1:]: h.summary()
+                for name, h in sorted(histograms.items())}
+
     def qps(self, name: str) -> float:
         """Lifetime queries-per-second of histogram ``name``."""
         elapsed = time.perf_counter() - self._started_at

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import re
 from functools import lru_cache
-from typing import Any, Iterable, Mapping
+from typing import Any, Mapping
 
 from ..errors import QuerySyntaxError
 from ..geo.bbox import BoundingBox

@@ -291,7 +291,6 @@ class TestArchive:
 
     def test_patch_validation(self):
         from datetime import datetime
-        from repro.geo import BoundingBox
         good = SyntheticArchive.generate(ArchiveConfig(num_patches=1, seed=0))[0]
         with pytest.raises(ValidationError):
             Patch(name="", labels=("Pastures",), country="Austria",

@@ -130,7 +130,10 @@ class TestQuantizationLoss:
 class TestCombinedLoss:
     def _batch(self, seed=0):
         rng = np.random.default_rng(seed)
-        make = lambda: Tensor(rng.uniform(-1, 1, size=(6, 16)), requires_grad=True)
+
+        def make():
+            return Tensor(rng.uniform(-1, 1, size=(6, 16)), requires_grad=True)
+
         return make(), make(), make()
 
     def test_breakdown_contains_all_terms(self):

@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 from repro.bigearthnet import BIGEARTHNET_LABELS, LabelCharCodec
 from repro.earthqube import LabelFilter, LabelOperator, QuerySpec
 from repro.errors import ValidationError
-from repro.geo import BoundingBox, Circle, Rectangle
+from repro.geo import Circle
 
 
 class TestQuerySpec:

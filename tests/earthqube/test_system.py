@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.similarity import shares_label_matrix
 from repro.earthqube import LabelOperator, QuerySpec
-from repro.errors import UnknownPatchError, ValidationError
+from repro.errors import UnknownPatchError
 from repro.geo import BoundingBox, Circle, Rectangle
 from repro.workloads import (
     run_label_exploration,

@@ -1,0 +1,110 @@
+"""Federated routing through the JSON API (`EarthQubeAPI`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.earthqube.api import EarthQubeAPI
+from repro.errors import ValidationError
+from repro.federation import FederatedEarthQube
+
+
+@pytest.fixture
+def api(node_a, node_b):
+    federation = FederatedEarthQube({"a": node_a, "b": node_b})
+    yield EarthQubeAPI(node_a, federation=federation)
+    federation.close()
+
+
+def test_requires_system_or_federation():
+    with pytest.raises(ValidationError):
+        EarthQubeAPI()
+
+
+def test_search_payload_carries_federation_meta(api):
+    payload = api.search({"limit": 5})
+    assert payload["ok"]
+    assert payload["federation"]["answered"] == ["a", "b"]
+    assert payload["federation"]["complete"] is True
+    assert len(payload["names"]) == 5
+    assert all(name.split("/", 1)[0] in ("a", "b") for name in payload["names"])
+
+
+def test_similar_routes_through_federation(api, node_a):
+    name = node_a.archive.names[0]
+    payload = api.similar({"name": f"a/{name}", "k": 5})
+    assert payload["ok"]
+    assert payload["query"] == f"a/{name}"
+    assert len(payload["results"]) == 5
+    assert payload["federation"]["queried"] == ["a", "b"]
+
+
+def test_similar_batch_routes_through_federation(api, node_a):
+    names = [f"a/{name}" for name in node_a.archive.names[:3]]
+    payload = api.similar_batch({"names": names, "k": 4})
+    assert payload["ok"] and payload["count"] == 3
+    assert [q["query"] for q in payload["queries"]] == names
+    assert payload["federation"]["answered"] == ["a", "b"]
+
+
+def test_statistics_routes_through_federation(api, node_a, node_b):
+    payload = api.statistics({
+        "names": [f"a/{node_a.archive.names[0]}",
+                  f"b/{node_b.archive.names[0]}"]})
+    assert payload["ok"] and payload["total_images"] == 2
+    assert payload["federation"]["answered"] == ["a", "b"]
+
+
+def test_federation_nodes_route(api):
+    payload = api.federation_nodes()
+    assert payload["ok"] and payload["federated"] and payload["count"] == 2
+    assert [node["name"] for node in payload["nodes"]] == ["a", "b"]
+    assert {"capabilities", "health"} <= set(payload["nodes"][0])
+
+
+def test_federation_nodes_without_federation(node_a):
+    payload = EarthQubeAPI(node_a).federation_nodes()
+    assert payload == {"ok": True, "federated": False, "count": 0, "nodes": []}
+
+
+def test_describe_includes_federation(api):
+    payload = api.describe()
+    assert payload["ok"]
+    assert payload["federation"]["num_nodes"] == 2
+    assert payload["archive_patches"] > 0  # local system summary still there
+
+
+def test_metrics_includes_per_node_latency(api, node_a):
+    api.similar({"name": node_a.archive.names[0], "k": 3})
+    payload = api.metrics()
+    assert set(payload["federation"]["per_node_latency"]) == {"a", "b"}
+    # node_a runs its serving tier, so the serving section is live too.
+    assert payload["serving"] is not None
+
+
+def test_federated_error_reporting(api):
+    payload = api.similar({"name": "nowhere/nothing"})
+    assert not payload["ok"]
+    assert payload["error"] == "UnknownPatchError"
+
+
+def test_federation_only_api_rejects_local_routes(node_a, node_b):
+    federation = FederatedEarthQube({"a": node_a, "b": node_b})
+    try:
+        api = EarthQubeAPI(federation=federation)
+        assert api.search({"limit": 2})["ok"]
+        payload = api.feedback({"text": "hi"})
+        assert not payload["ok"] and payload["error"] == "ValidationError"
+    finally:
+        federation.close()
+
+
+def test_payloads_are_json_serializable(api, node_a):
+    for payload in (api.search({"limit": 3}),
+                    api.similar({"name": node_a.archive.names[0], "k": 3}),
+                    api.federation_nodes(),
+                    api.metrics(),
+                    api.describe()):
+        json.dumps(payload)

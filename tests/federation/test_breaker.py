@@ -1,0 +1,100 @@
+"""Circuit-breaker state machine tests (fake clock, no threads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.federation.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def test_stays_closed_below_threshold(clock):
+    breaker = CircuitBreaker(3, 10.0, clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_opens_at_threshold_and_blocks(clock):
+    breaker = CircuitBreaker(3, 10.0, clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+
+
+def test_success_resets_the_streak(clock):
+    breaker = CircuitBreaker(2, 10.0, clock=clock)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_half_open_admits_one_probe(clock):
+    breaker = CircuitBreaker(1, 10.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.advance(10.0)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()       # the probe
+    assert not breaker.allow()   # no second concurrent probe
+
+
+def test_probe_success_closes(clock):
+    breaker = CircuitBreaker(1, 10.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_with_fresh_cooldown(clock):
+    breaker = CircuitBreaker(1, 10.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    clock.advance(9.0)
+    assert not breaker.allow()
+    clock.advance(1.0)
+    assert breaker.allow()
+
+
+def test_snapshot_accounting(clock):
+    breaker = CircuitBreaker(2, 10.0, clock=clock)
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap == {"state": OPEN, "consecutive_failures": 2,
+                    "total_successes": 1, "total_failures": 2,
+                    "times_opened": 1}
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        CircuitBreaker(0, 1.0)
+    with pytest.raises(ValidationError):
+        CircuitBreaker(1, -1.0)

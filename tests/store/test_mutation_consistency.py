@@ -5,7 +5,6 @@ updates runs, every query plan (unique/hash/geo index or scan) returns
 exactly what a naive matcher over the live documents returns.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -1,0 +1,140 @@
+"""Round-trip tests for the JSON database snapshot (store/persistence.py).
+
+The load-bearing case: a collection holding *packed code matrices* (the
+CBIR tier's uint64 Hamming codes, stored as bytes) must survive a
+save/load cycle bit-exactly, and a retrieval index rebuilt from the
+restored codes must answer byte-identically to one built from the
+originals.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.mih import MultiIndexHashing
+from repro.store.database import Database
+from repro.store.persistence import load_database, save_database
+
+NUM_BITS = 128
+WORDS = NUM_BITS // 64
+
+
+@pytest.fixture
+def codes() -> np.ndarray:
+    rng = np.random.default_rng(97)
+    return rng.integers(0, 2**63, size=(80, WORDS), dtype=np.uint64) * 2 + 1
+
+
+@pytest.fixture
+def code_db(codes) -> Database:
+    """A database whose `codes` collection holds the packed code matrix."""
+    db = Database("archive_node")
+    collection = db.create_collection("codes", primary_key="name")
+    collection.create_index("shard")
+    for row, code in enumerate(codes):
+        collection.insert_one({
+            "name": f"patch_{row}",
+            "row": row,
+            "shard": row % 4,
+            "code": code.tobytes(),
+        })
+    return db
+
+
+def restored_codes(db: Database) -> np.ndarray:
+    documents = sorted(db["codes"].find().documents, key=lambda d: d["row"])
+    return np.stack([np.frombuffer(doc["code"], dtype=np.uint64)
+                     for doc in documents])
+
+
+def test_packed_codes_round_trip_bit_exactly(tmp_path, code_db, codes):
+    path = tmp_path / "node.json"
+    save_database(code_db, path)
+    loaded = load_database(path)
+    assert loaded.name == "archive_node"
+    np.testing.assert_array_equal(restored_codes(loaded), codes)
+
+
+def test_rebuilt_index_answers_byte_identically(tmp_path, code_db, codes):
+    path = tmp_path / "node.json"
+    save_database(code_db, path)
+    restored = restored_codes(load_database(path))
+
+    names = [f"patch_{row}" for row in range(len(codes))]
+    queries = codes[:8]
+    for make in (lambda: MultiIndexHashing(NUM_BITS, 4),
+                 lambda: LinearScanIndex(NUM_BITS)):
+        original, rebuilt = make(), make()
+        original.build(names, codes)
+        rebuilt.build(names, restored)
+        for query in queries:
+            assert (rebuilt.search_knn(query, 10)
+                    == original.search_knn(query, 10))
+            assert (rebuilt.search_radius(query, 8)
+                    == original.search_radius(query, 8))
+
+
+def test_snapshot_is_plain_json(tmp_path, code_db):
+    path = tmp_path / "node.json"
+    save_database(code_db, path)
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    assert snapshot["format_version"] == 1
+    document = snapshot["collections"]["codes"]["documents"][0]
+    assert set(document["code"]) == {"__bytes__"}  # base64-wrapped bytes
+
+
+def test_index_definitions_are_rebuilt(tmp_path, code_db):
+    path = tmp_path / "node.json"
+    save_database(code_db, path)
+    loaded = load_database(path)
+    collection = loaded["codes"]
+    assert collection.primary_key == "name"
+    assert collection.get("patch_3")["row"] == 3
+    # The hash index survived: an equality query plans through it.
+    response = collection.find({"shard": 2})
+    assert {doc["row"] % 4 for doc in response.documents} == {2}
+
+
+def test_earthqube_schema_round_trip(tmp_path):
+    db = Database.earthqube_schema()
+    db["metadata"].insert_one({
+        "name": "p0",
+        "location": {"bbox": [10.0, 50.0, 10.1, 50.1]},
+        "properties": {"labels": ["Beaches"], "season": "Summer"},
+    })
+    db["feedback"].insert_one({"text": "hello", "category": "comment"})
+    path = tmp_path / "schema.json"
+    save_database(db, path)
+    loaded = load_database(path)
+    assert loaded.collection_names() == db.collection_names()
+    assert loaded["metadata"].get("p0") == db["metadata"].get("p0")
+    assert len(loaded["feedback"]) == 1
+
+
+def test_nested_bytes_round_trip(tmp_path):
+    db = Database("binary")
+    collection = db.create_collection("blobs", primary_key="name")
+    document = {"name": "b0",
+                "payload": {"bands": [b"\x00\xff\x10", b"ok"], "depth": 2}}
+    collection.insert_one(document)
+    path = tmp_path / "binary.json"
+    save_database(db, path)
+    assert load_database(path)["blobs"].get("b0") == document
+
+
+def test_missing_snapshot_raises(tmp_path):
+    with pytest.raises(StoreError):
+        load_database(tmp_path / "absent.json")
+
+
+def test_unsupported_version_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format_version": 99, "collections": {}}))
+    with pytest.raises(StoreError):
+        load_database(path)

@@ -7,13 +7,10 @@ honored end to end.
 """
 
 import numpy as np
-import pytest
 
 from repro import MiLaNHasher
 from repro.bigearthnet.io import load_archive, save_archive
-from repro.config import MiLaNConfig, TrainConfig
 from repro.earthqube import EarthQubeAPI, QuerySpec
-from repro.errors import ValidationError
 
 
 class TestArchivePersistenceIntegration:

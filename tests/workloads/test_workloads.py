@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.earthqube import LabelOperator, QuerySpec
+from repro.earthqube import LabelOperator
 from repro.errors import ValidationError
 from repro.geo import Circle, Rectangle
 from repro.workloads import QueryWorkloadGenerator
