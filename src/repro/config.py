@@ -126,14 +126,36 @@ class TrainConfig:
 
 @dataclass(frozen=True)
 class IndexConfig:
-    """Hash-index settings: Hamming radius and multi-index substring count."""
+    """Hash-index settings: Hamming radius, multi-index substring count,
+    and the filtered-search pushdown policy.
+
+    A metadata-filtered similarity query chooses between two plans by
+    estimated selectivity (allowed rows / corpus):
+
+    * **pre-filter** — restrict the Hamming scan / MIH verification to the
+      allowed-row mask; cost scales with the allowed subset, so it wins
+      when the filter is selective (``selectivity <=
+      prefilter_max_selectivity``);
+    * **post-filter** — run the unfiltered index search over-fetched by
+      ``postfilter_overfetch / selectivity`` and refill adaptively until
+      ``k`` allowed results are found; shares scans and cache entries with
+      unfiltered traffic, so it wins for broad filters.
+
+    Both plans return byte-identical rankings; the policy is cost-only.
+    """
 
     hamming_radius: int = 2
     mih_tables: int = 4
+    prefilter_max_selectivity: float = 0.1
+    postfilter_overfetch: float = 2.0
 
     def __post_init__(self) -> None:
         _require(self.hamming_radius >= 0, "hamming_radius must be >= 0")
         _require(self.mih_tables >= 1, "mih_tables must be >= 1")
+        _require(0.0 <= self.prefilter_max_selectivity <= 1.0,
+                 "prefilter_max_selectivity must be in [0, 1]")
+        _require(self.postfilter_overfetch >= 1.0,
+                 "postfilter_overfetch must be >= 1")
 
 
 @dataclass(frozen=True)

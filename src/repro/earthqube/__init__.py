@@ -22,7 +22,7 @@ is the back-end server plus headless equivalents of every UI behaviour:
 
 from .api import EarthQubeAPI, parse_query_request
 from .cart import DownloadCart
-from .cbir import CBIRService, SimilarityResponse
+from .cbir import CBIRService, RowFilter, SimilarityResponse
 from .feedback import FeedbackService
 from .refinement import RelevanceFeedbackSession, RocchioWeights
 from .ingest import ingest_archive, metadata_document
@@ -46,6 +46,7 @@ __all__ = [
     "SearchService",
     "SearchResponse",
     "CBIRService",
+    "RowFilter",
     "SimilarityResponse",
     "LabelStatistics",
     "label_statistics",

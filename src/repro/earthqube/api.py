@@ -123,9 +123,34 @@ class EarthQubeAPI:
                                   "(the API was built federation-only)")
         return self.system
 
+    @staticmethod
+    def _parse_filter(payload: "Mapping[str, Any] | None") -> "QuerySpec | None":
+        """Parse the optional metadata filter of a CBIR request.
+
+        The filter reuses the search-request schema, but selects *all*
+        matching images: pagination fields are meaningless and rejected.
+        """
+        if payload is None:
+            return None
+        spec = parse_query_request(payload)
+        if spec.limit is not None or spec.skip:
+            raise ValidationError(
+                "a similarity filter selects all matching images; "
+                "it cannot carry limit/skip")
+        return spec
+
     def search(self, request: Mapping[str, Any]) -> dict:
-        """POST /search — query-panel search (federated when configured)."""
+        """POST /search — query-panel search (federated when configured).
+
+        ``explain=true`` adds an ``explain`` section with the access-path
+        ``plan`` and ``candidates_examined`` (how many index candidates the
+        matcher verified) from the store's query planner.
+        """
         try:
+            if not isinstance(request, Mapping):
+                raise ValidationError("request body must be an object")
+            request = dict(request)
+            explain = bool(request.pop("explain", False))
             spec = parse_query_request(request)
             if self.federation is not None:
                 federated = self.federation.search(spec)
@@ -141,6 +166,11 @@ class EarthQubeAPI:
             "names": response.names,
             "documents": response.documents,
         }
+        if explain:
+            payload["explain"] = {
+                "plan": response.plan,
+                "candidates_examined": response.candidates_examined,
+            }
         if meta is not None:
             payload["federation"] = meta.as_dict()
         return payload
@@ -149,7 +179,9 @@ class EarthQubeAPI:
         """POST /similar — CBIR from an archive image name.
 
         Under federation the name may be namespaced (``node/patch_name``);
-        a bare name resolves to the first node that indexes it.
+        a bare name resolves to the first node that indexes it.  An
+        optional ``filter`` object (search-request schema) restricts the
+        ranking to metadata-matching images (filtered similarity).
         """
         try:
             if not isinstance(request, Mapping) or "name" not in request:
@@ -159,6 +191,7 @@ class EarthQubeAPI:
             radius = request.get("radius")
             kwargs = ({"k": None, "radius": int(radius)} if radius is not None
                       else {"k": int(k)})
+            kwargs["filter"] = self._parse_filter(request.get("filter"))
             meta = None
             if self.federation is not None:
                 federated = self.federation.similar_images(name, **kwargs)
@@ -182,7 +215,8 @@ class EarthQubeAPI:
         """POST /similar/batch — CBIR for many archive images in one call.
 
         Request: ``{"names": [...], "k": 10}`` or
-        ``{"names": [...], "radius": 2}``.  The whole batch executes one
+        ``{"names": [...], "radius": 2}``, optionally with a ``filter``
+        object applied to the whole batch.  The whole batch executes one
         coalesced index pass; the response carries one entry per name, in
         request order, each shaped exactly like a ``/similar`` response.
         """
@@ -198,6 +232,7 @@ class EarthQubeAPI:
             radius = request.get("radius")
             kwargs = ({"k": None, "radius": int(radius)} if radius is not None
                       else {"k": int(k)})
+            kwargs["filter"] = self._parse_filter(request.get("filter"))
             meta = None
             if self.federation is not None:
                 federated = self.federation.similar_images_batch(names, **kwargs)

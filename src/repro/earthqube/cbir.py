@@ -10,12 +10,24 @@ within a small hamming radius."
 :class:`CBIRService` implements exactly that: a name -> packed-code map for
 archive queries, on-the-fly feature extraction + hashing for new images, and
 a Hamming index (MIH by default) for the radius/kNN search.
+
+Filtered similarity (EarthQube's *combined* queries — metadata constraints
+joined with content similarity) runs through the same entry points: every
+query method accepts ``filter`` — a :class:`RowFilter`, an iterable of
+allowed patch names, or a :class:`~repro.earthqube.query.QuerySpec` when a
+``spec_resolver`` is attached (the bootstrapped system wires it to the
+metadata search service).  The service picks **pre-filter** (restrict the
+Hamming scan / MIH verification to the allowed-row mask) or **post-filter**
+(adaptively over-fetched unfiltered search + client-side refill) from the
+filter's estimated selectivity; both plans return byte-identical rankings
+equal to a brute-force filter-then-rank oracle.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -26,6 +38,30 @@ from ..errors import UnknownPatchError, ValidationError
 from ..features.extractor import FeatureExtractor
 from ..index.mih import MultiIndexHashing
 from ..index.results import SearchResult
+from .query import QuerySpec
+
+_FILTER_MODES = ("auto", "pre", "post")
+
+
+@dataclass(frozen=True)
+class RowFilter:
+    """An allowed-row view of the archive for one metadata filter.
+
+    ``mask`` is a boolean array over index insertion rows (aligned with
+    :meth:`CBIRService.indexed_items`), ``names`` the same selection as a
+    frozenset of patch names (for post-filter result screening), ``count``
+    the number of allowed rows, and ``fingerprint`` a hashable identity
+    used in cache keys and micro-batch grouping.
+    """
+
+    mask: np.ndarray
+    names: frozenset
+    count: int
+    fingerprint: "Hashable | None" = None
+
+    def selectivity(self, corpus_size: int) -> float:
+        """Allowed fraction of the corpus (0 when the corpus is empty)."""
+        return self.count / corpus_size if corpus_size else 0.0
 
 
 @dataclass
@@ -91,6 +127,10 @@ class CBIRService:
         self._names: list[str] = []
         self._codes: np.ndarray = np.empty((0, words), dtype=np.uint64)
         self._pending: list[np.ndarray] = []
+        self._row_by_name: dict[str, int] = {}
+        # Optional QuerySpec -> RowFilter resolver, attached by the system
+        # facade so `filter=QuerySpec(...)` works at this level too.
+        self.spec_resolver = None
 
     def __len__(self) -> int:
         return len(self._code_by_name)
@@ -105,6 +145,7 @@ class CBIRService:
                 f"features rows ({codes.shape[0]}) must match names ({len(names)})")
         self._code_by_name = {name: codes[i] for i, name in enumerate(names)}
         self._names = list(names)
+        self._row_by_name = {name: i for i, name in enumerate(names)}
         self._codes = codes
         self._pending = []
         self._index.build(list(names), codes)
@@ -152,17 +193,114 @@ class CBIRService:
             raise ValidationError(f"features must be 1D, got shape {features.shape}")
         code = self.hasher.hash_packed(features[None, :])[0]
         self._code_by_name[name] = code
+        self._row_by_name[name] = len(self._names)
         self._names.append(name)
         self._pending.append(code)
         self._index.add(name, code)
         return code
 
     # ------------------------------------------------------------------ #
+    # Filters
+    # ------------------------------------------------------------------ #
+
+    def make_filter(self, names: Iterable[str], *,
+                    fingerprint: "Hashable | None" = None) -> RowFilter:
+        """Build a :class:`RowFilter` from allowed patch names.
+
+        Names not indexed by this archive are ignored (a federation-wide
+        filter intersects naturally with each member's corpus).
+        """
+        mask = np.zeros(len(self._names), dtype=bool)
+        allowed: list[str] = []
+        for name in names:
+            row = self._row_by_name.get(name)
+            if row is not None and not mask[row]:
+                mask[row] = True
+                allowed.append(name)
+        return RowFilter(mask=mask, names=frozenset(allowed),
+                         count=len(allowed), fingerprint=fingerprint)
+
+    def _coerce_filter(self, filter: object) -> "RowFilter | None":
+        if filter is None or isinstance(filter, RowFilter):
+            return filter
+        if isinstance(filter, QuerySpec):
+            if self.spec_resolver is None:
+                raise ValidationError(
+                    "QuerySpec filters need a metadata tier; attach a "
+                    "spec_resolver or pass a RowFilter / name iterable")
+            return self.spec_resolver(filter)
+        if isinstance(filter, (list, tuple, set, frozenset)):
+            return self.make_filter(filter)
+        raise ValidationError(
+            f"filter must be a RowFilter, QuerySpec, or iterable of names, "
+            f"got {type(filter).__name__}")
+
+    def _filter_mode(self, row_filter: RowFilter, strategy: str) -> str:
+        """Resolve ``auto`` to pre/post from estimated selectivity."""
+        if strategy not in _FILTER_MODES:
+            raise ValidationError(
+                f"strategy must be one of {_FILTER_MODES}, got {strategy!r}")
+        if strategy != "auto":
+            return strategy
+        threshold = self.config.prefilter_max_selectivity
+        return ("pre" if row_filter.selectivity(len(self._names)) <= threshold
+                else "post")
+
+    def _initial_fetch(self, k: int, row_filter: RowFilter) -> int:
+        """First post-filter over-fetch: ``k / selectivity`` plus margin."""
+        n = len(self._names)
+        estimated = math.ceil(k * n * self.config.postfilter_overfetch
+                              / max(row_filter.count, 1))
+        return min(n, max(k, estimated))
+
+    def _postfilter_knn(self, code: np.ndarray, k: int,
+                        row_filter: RowFilter,
+                        *, start_fetch: "int | None" = None,
+                        ) -> list[SearchResult]:
+        """Adaptive over-fetch + refill: unfiltered kNN, screened by name.
+
+        The unfiltered ranking is a deterministic (distance, insertion
+        row) order, so the first ``k`` allowed survivors are exactly the
+        filtered top-k; when the screen comes up short the fetch grows
+        geometrically until it is satisfied or the corpus is exhausted.
+        """
+        n = len(self._names)
+        fetch = start_fetch if start_fetch is not None else \
+            self._initial_fetch(k, row_filter)
+        while True:
+            results = self._index.search_knn(code, fetch)
+            kept = [r for r in results if r.item_id in row_filter.names]
+            if len(kept) >= k or fetch >= n:
+                return kept[:k]
+            fetch = min(n, fetch * 4)
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
 
+    def query(self, query, *, k: "int | None" = 10,
+              radius: "int | None" = None, filter: object = None,
+              strategy: str = "auto") -> SimilarityResponse:
+        """Unified (optionally filtered) CBIR entry point.
+
+        ``query`` is an archive image name (``str``), an external
+        :class:`~repro.bigearthnet.patch.Patch`, or a 1-D feature vector.
+        ``filter`` restricts results to metadata-matching images (see the
+        module docstring); ``strategy`` forces the pre/post plan (tests and
+        benchmarks — ``"auto"`` is the cost-based default).
+        """
+        if isinstance(query, str):
+            return self.query_by_name(query, k=k, radius=radius,
+                                      filter=filter, strategy=strategy)
+        if isinstance(query, Patch):
+            return self.query_by_patch(query, k=k, radius=radius,
+                                       filter=filter, strategy=strategy)
+        return self.query_by_features(query, k=k, radius=radius,
+                                      filter=filter, strategy=strategy)
+
     def query_by_name(self, name: str, *, k: "int | None" = 10,
-                      radius: "int | None" = None) -> SimilarityResponse:
+                      radius: "int | None" = None, filter: object = None,
+                      strategy: str = "auto") -> SimilarityResponse:
         """Query-by-existing-example: similarity search from an archive image.
 
         Either ``k`` (nearest neighbors, radius grown as needed) or an
@@ -172,27 +310,33 @@ class CBIRService:
         # Request one extra result: the query matches itself at distance 0
         # and is dropped from the response.
         results, used = self._run(code, k=None if k is None else k + 1,
-                                  radius=radius)
+                                  radius=radius, filter=filter,
+                                  strategy=strategy)
         return shape_name_response(name, results, used, k)
 
     def query_by_patch(self, patch: Patch, *, k: "int | None" = 10,
-                       radius: "int | None" = None) -> SimilarityResponse:
+                       radius: "int | None" = None, filter: object = None,
+                       strategy: str = "auto") -> SimilarityResponse:
         """Query-by-new-example: hash an external image on the fly."""
         features = self.extractor.extract(patch)
-        return self.query_by_features(features, k=k, radius=radius)
+        return self.query_by_features(features, k=k, radius=radius,
+                                      filter=filter, strategy=strategy)
 
     def query_by_features(self, features: np.ndarray, *, k: "int | None" = 10,
-                          radius: "int | None" = None) -> SimilarityResponse:
+                          radius: "int | None" = None, filter: object = None,
+                          strategy: str = "auto") -> SimilarityResponse:
         """Similarity search from a raw feature vector."""
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 1:
             raise ValidationError(f"query features must be 1D, got shape {features.shape}")
         code = self.hasher.hash_packed(features[None, :])[0]
-        results, used = self._run(code, k=k, radius=radius)
+        results, used = self._run(code, k=k, radius=radius, filter=filter,
+                                  strategy=strategy)
         return SimilarityResponse(None, results, used)
 
     def query_batch(self, queries: Sequence, *, k: "int | None" = 10,
-                    radius: "int | None" = None) -> list[SimilarityResponse]:
+                    radius: "int | None" = None, filter: object = None,
+                    strategy: str = "auto") -> list[SimilarityResponse]:
         """Batch CBIR: one ranked response per query, in request order.
 
         Each query is either an archive image name (``str``, matching
@@ -201,6 +345,8 @@ class CBIRService:
         The whole batch runs through the index's native batch path — one
         vectorized probe/verify pass instead of a Python loop — and the
         responses are byte-identical to looping the single-query methods.
+        ``filter`` (shared by the whole batch) restricts every query to the
+        metadata-matching images.
         """
         queries = list(queries)
         responses: "list[SimilarityResponse | None]" = [None] * len(queries)
@@ -226,62 +372,130 @@ class CBIRService:
             # distance 0 is dropped from the response.
             batches, used_list = self._run_batch(
                 np.stack(name_codes), k=None if k is None else k + 1,
-                radius=radius)
+                radius=radius, filter=filter, strategy=strategy)
             for position, results, used in zip(name_positions, batches, used_list):
                 responses[position] = shape_name_response(
                     queries[position], results, used, k)
         if feature_positions:
             batches, used_list = self._run_batch(
-                np.stack(feature_codes), k=k, radius=radius)
+                np.stack(feature_codes), k=k, radius=radius, filter=filter,
+                strategy=strategy)
             for position, results, used in zip(feature_positions, batches,
                                                used_list):
                 responses[position] = SimilarityResponse(None, results, used)
         return responses  # type: ignore[return-value]
 
     def query_code(self, code: np.ndarray, *, k: "int | None" = None,
-                   radius: "int | None" = None) -> "tuple[list[SearchResult], int]":
+                   radius: "int | None" = None, filter: object = None,
+                   strategy: str = "auto") -> "tuple[list[SearchResult], int]":
         """Raw packed-code search: ``(results, radius_used)``.
 
         The federation tier's per-node entry point — a remote peer resolves
         a query to a code once, then every member archive answers the same
-        code.  Semantics match :meth:`_run` exactly (no self-match
-        handling; response shaping is the caller's job).
+        code (each applying ``filter`` against its own metadata).
+        Semantics match :meth:`_run` exactly (no self-match handling;
+        response shaping is the caller's job).
         """
-        return self._run(np.asarray(code, dtype=np.uint64), k=k, radius=radius)
+        return self._run(np.asarray(code, dtype=np.uint64), k=k, radius=radius,
+                         filter=filter, strategy=strategy)
 
     def query_codes_batch(self, codes: np.ndarray, *, k: "int | None" = None,
-                          radius: "int | None" = None,
+                          radius: "int | None" = None, filter: object = None,
+                          strategy: str = "auto",
                           ) -> "list[tuple[list[SearchResult], int]]":
         """Batch :meth:`query_code`: one ``(results, radius_used)`` per row."""
         codes = np.asarray(codes, dtype=np.uint64)
         if codes.ndim != 2:
             raise ValidationError(
                 f"batch code query expects (Q, W) packed codes, got {codes.shape}")
-        batches, used_list = self._run_batch(codes, k=k, radius=radius)
+        batches, used_list = self._run_batch(codes, k=k, radius=radius,
+                                             filter=filter, strategy=strategy)
         return list(zip(batches, used_list))
 
-    def _run_batch(self, codes: np.ndarray, *, k: "int | None",
-                   radius: "int | None",
-                   ) -> "tuple[list[list[SearchResult]], list[int]]":
+    @staticmethod
+    def _validate_params(k: "int | None", radius: "int | None") -> None:
         if radius is not None:
             if radius < 0:
                 raise ValidationError(f"radius must be >= 0, got {radius}")
-            batches = self._index.search_radius_batch(codes, radius)
-            return batches, [radius] * len(batches)
-        if k is None or k <= 0:
+        elif k is None or k <= 0:
             raise ValidationError("provide k > 0 or an explicit radius")
-        batches = self._index.search_knn_batch(codes, k)
-        return batches, [results[-1].distance if results else 0
+
+    @staticmethod
+    def _used_radius(results: "list[SearchResult]",
+                     radius: "int | None") -> int:
+        if radius is not None:
+            return radius
+        return results[-1].distance if results else 0
+
+    def _run_batch(self, codes: np.ndarray, *, k: "int | None",
+                   radius: "int | None", filter: object = None,
+                   strategy: str = "auto",
+                   ) -> "tuple[list[list[SearchResult]], list[int]]":
+        self._validate_params(k, radius)
+        row_filter = self._coerce_filter(filter)
+        if row_filter is None:
+            if radius is not None:
+                batches = self._index.search_radius_batch(codes, radius)
+            else:
+                batches = self._index.search_knn_batch(codes, k)
+        elif row_filter.count == 0:
+            batches = [[] for _ in range(codes.shape[0])]
+        else:
+            mode = self._filter_mode(row_filter, strategy)
+            if radius is not None:
+                if mode == "pre":
+                    batches = self._index.search_radius_batch(
+                        codes, radius, allowed=row_filter.mask)
+                else:
+                    batches = [
+                        [r for r in results if r.item_id in row_filter.names]
+                        for results in self._index.search_radius_batch(
+                            codes, radius)]
+            elif mode == "pre":
+                batches = self._index.search_knn_batch(
+                    codes, k, allowed=row_filter.mask)
+            else:
+                # One shared over-fetch pass for the whole batch, then
+                # per-query refill for the (rare) under-filled screens.
+                n = len(self._names)
+                fetch = self._initial_fetch(k, row_filter)
+                fetched = self._index.search_knn_batch(codes, fetch)
+                batches = []
+                for position, results in enumerate(fetched):
+                    kept = [r for r in results
+                            if r.item_id in row_filter.names]
+                    if len(kept) >= k or fetch >= n:
+                        batches.append(kept[:k])
+                    else:
+                        batches.append(self._postfilter_knn(
+                            codes[position], k, row_filter,
+                            start_fetch=min(n, fetch * 4)))
+        return batches, [self._used_radius(results, radius)
                          for results in batches]
 
     def _run(self, code: np.ndarray, *, k: "int | None",
-             radius: "int | None") -> tuple[list[SearchResult], int]:
+             radius: "int | None", filter: object = None,
+             strategy: str = "auto") -> tuple[list[SearchResult], int]:
+        self._validate_params(k, radius)
+        row_filter = self._coerce_filter(filter)
+        if row_filter is None:
+            if radius is not None:
+                return self._index.search_radius(code, radius), radius
+            results = self._index.search_knn(code, k)
+            return results, self._used_radius(results, None)
+        if row_filter.count == 0:
+            return [], self._used_radius([], radius)
+        mode = self._filter_mode(row_filter, strategy)
         if radius is not None:
-            if radius < 0:
-                raise ValidationError(f"radius must be >= 0, got {radius}")
-            return self._index.search_radius(code, radius), radius
-        if k is None or k <= 0:
-            raise ValidationError("provide k > 0 or an explicit radius")
-        results = self._index.search_knn(code, k)
-        max_distance = results[-1].distance if results else 0
-        return results, max_distance
+            if mode == "pre":
+                results = self._index.search_radius(
+                    code, radius, allowed=row_filter.mask)
+            else:
+                results = [r for r in self._index.search_radius(code, radius)
+                           if r.item_id in row_filter.names]
+            return results, radius
+        if mode == "pre":
+            results = self._index.search_knn(code, k, allowed=row_filter.mask)
+        else:
+            results = self._postfilter_knn(code, k, row_filter)
+        return results, self._used_radius(results, None)

@@ -87,13 +87,14 @@ def ingest_archive(db: Database, archive: SyntheticArchive,
     benchmarks where pixel payloads would only waste memory.
     """
     codec = codec or LabelCharCodec()
-    metadata = db[METADATA]
-    image_data = db[IMAGE_DATA]
-    rendered = db[RENDERED_IMAGES]
-    for patch in archive:
-        metadata.insert_one(metadata_document(patch, codec))
-        if store_images:
-            image_data.insert_one(image_data_document(patch))
-        if store_renders:
-            rendered.insert_one(rendered_image_document(patch))
+    # Bulk insert per collection: one batched index/column update pass
+    # each, instead of per-document index maintenance.
+    db[METADATA].insert_many(
+        metadata_document(patch, codec) for patch in archive)
+    if store_images:
+        db[IMAGE_DATA].insert_many(
+            image_data_document(patch) for patch in archive)
+    if store_renders:
+        db[RENDERED_IMAGES].insert_many(
+            rendered_image_document(patch) for patch in archive)
     return len(archive)

@@ -69,22 +69,30 @@ class SearchService:
         return {"$and": conditions}
 
     def search(self, spec: QuerySpec, *, use_codec: bool = True) -> SearchResponse:
-        """Run the query; returns the (paginated) documents and plan info."""
+        """Run the query; returns the (paginated) documents and plan info.
+
+        Pagination is pushed into the store: only the requested page is
+        deep-copied, while ``total_matches`` still reports the full
+        pre-pagination match count.
+        """
         query = self.compile_query(spec, use_codec=use_codec)
-        # Total count first (unpaginated), then the requested page.
-        full = self._metadata.find(query)
-        documents = full.documents
-        if spec.skip:
-            documents = documents[spec.skip:]
-        if spec.limit is not None:
-            documents = documents[:spec.limit]
+        result = self._metadata.find(query, skip=spec.skip, limit=spec.limit)
         return SearchResponse(
-            documents=documents,
-            total_matches=len(full.documents),
-            plan=full.plan,
-            candidates_examined=full.candidates_examined,
+            documents=result.documents,
+            total_matches=result.total_matches,
+            plan=result.plan,
+            candidates_examined=result.candidates_examined,
         )
 
     def count(self, spec: QuerySpec) -> int:
         """Number of matches without materializing a page."""
         return self._metadata.count(self.compile_query(spec))
+
+    def matching_names(self, spec: QuerySpec) -> list[str]:
+        """Patch names matching a spec's filters (pagination ignored).
+
+        The zero-copy projection behind filtered similarity search: no
+        document is materialized, only the ``name`` values are read.
+        """
+        query = self.compile_query(spec)
+        return list(self._metadata.field_values(query, "name"))

@@ -52,6 +52,9 @@ class EarthQube:
         self.features = features
         self.search_service = SearchService(db, codec)
         self.feedback_service = FeedbackService(db)
+        # Let CBIR resolve QuerySpec filters against the metadata tier
+        # (filtered-similarity pushdown).
+        self.cbir.spec_resolver = self.row_filter_for
         # The optional serving tier (sharding + batching + caching); routed
         # to by search/similar_images when enabled.  See repro.serving.
         self.gateway = None
@@ -152,38 +155,66 @@ class EarthQube:
         """Total number of image patches matching the query criteria."""
         return self.search_service.count(spec)
 
+    def row_filter_for(self, spec: "QuerySpec | None"):
+        """Resolve a metadata :class:`QuerySpec` to a CBIR row filter.
+
+        Runs the spec through the search service's zero-copy name
+        projection (pagination ignored — a filter selects *all* matching
+        images) and maps the names onto index rows.  Returns ``None`` for
+        ``spec=None`` so call sites can pass filters through untouched.
+        """
+        if spec is None:
+            return None
+        names = self.search_service.matching_names(spec)
+        return self.cbir.make_filter(names, fingerprint=repr(spec))
+
     def similar_images(self, name: str, *, k: "int | None" = 10,
-                       radius: "int | None" = None) -> SimilarityResponse:
+                       radius: "int | None" = None,
+                       filter: "QuerySpec | None" = None) -> SimilarityResponse:
         """CBIR from an archive image (the result panel's 'retrieve similar
-        images' button)."""
+        images' button).
+
+        ``filter`` joins a metadata query with the similarity search: only
+        images matching the spec are ranked, with a cost-based pre-filter
+        (masked scan) vs post-filter (over-fetch + refill) plan choice.
+        """
         if radius is None and k is None:
             radius = self.config.index.hamming_radius
         if self.gateway is not None:
-            return self.gateway.similar_images(name, k=k, radius=radius)
-        return self.cbir.query_by_name(name, k=k, radius=radius)
+            return self.gateway.similar_images(name, k=k, radius=radius,
+                                               filter=filter)
+        return self.cbir.query_by_name(name, k=k, radius=radius,
+                                       filter=self.row_filter_for(filter))
 
     def similar_images_batch(self, names: "list[str]", *,
                              k: "int | None" = 10,
                              radius: "int | None" = None,
+                             filter: "QuerySpec | None" = None,
                              ) -> list[SimilarityResponse]:
         """Batch CBIR: one ranked response per archive image name.
 
         Routed through the serving tier's batch pipeline when enabled;
         either way the responses are byte-identical to calling
-        :meth:`similar_images` per name.
+        :meth:`similar_images` per name.  ``filter`` applies to the whole
+        batch.
         """
         if radius is None and k is None:
             radius = self.config.index.hamming_radius
         if self.gateway is not None:
-            return self.gateway.similar_images_batch(names, k=k, radius=radius)
-        return self.cbir.query_batch(list(names), k=k, radius=radius)
+            return self.gateway.similar_images_batch(names, k=k, radius=radius,
+                                                     filter=filter)
+        return self.cbir.query_batch(list(names), k=k, radius=radius,
+                                     filter=self.row_filter_for(filter))
 
     def similar_to_new_image(self, patch: Patch, *, k: "int | None" = 10,
-                             radius: "int | None" = None) -> SimilarityResponse:
+                             radius: "int | None" = None,
+                             filter: "QuerySpec | None" = None) -> SimilarityResponse:
         """CBIR from an uploaded image (query-by-new-example)."""
         if self.gateway is not None:
-            return self.gateway.similar_to_new_image(patch, k=k, radius=radius)
-        return self.cbir.query_by_patch(patch, k=k, radius=radius)
+            return self.gateway.similar_to_new_image(patch, k=k, radius=radius,
+                                                     filter=filter)
+        return self.cbir.query_by_patch(patch, k=k, radius=radius,
+                                        filter=self.row_filter_for(filter))
 
     def documents_for(self, names: "list[str]") -> list[dict]:
         """Metadata documents for a list of patch names (ranked order kept)."""

@@ -183,8 +183,15 @@ class FederatedEarthQube:
         return FederatedResponse(merged, meta)
 
     def similar_images(self, name: str, *, k: "int | None" = 10,
-                       radius: "int | None" = None) -> FederatedResponse:
-        """Federated CBIR from an archive image anywhere in the federation."""
+                       radius: "int | None" = None,
+                       filter: "QuerySpec | None" = None) -> FederatedResponse:
+        """Federated CBIR from an archive image anywhere in the federation.
+
+        ``filter`` (a metadata :class:`QuerySpec`) is scattered alongside
+        the code: every node resolves it against its own metadata tier and
+        answers with its filtered candidates, so the merged ranking equals
+        filtering a global ranking.
+        """
         self._require_nodes()
         owner, bare = self.resolve_image(name)
         if radius is None and k is None:
@@ -195,8 +202,12 @@ class FederatedEarthQube:
         namespace = self._namespacing()
         targets, pre_skipped = self._compatible_targets(
             owner.system.hasher.num_bits)
+        # filter_spec rides along only when set, so stubs/peers speaking
+        # the unfiltered protocol keep working.
+        filter_kwargs = {} if filter is None else {"filter_spec": filter}
         outcomes, meta = self.executor.scatter(
-            lambda node: node.query_code(code, k=request_k, radius=radius),
+            lambda node: node.query_code(code, k=request_k, radius=radius,
+                                         **filter_kwargs),
             nodes=targets, pre_skipped=pre_skipped)
         merged, used = merge_similarity(
             [(o.node_name, o.value[0], o.value[1]) for o in outcomes if o.ok],
@@ -207,7 +218,8 @@ class FederatedEarthQube:
 
     def similar_images_batch(self, names: "list[str]", *,
                              k: "int | None" = 10,
-                             radius: "int | None" = None) -> FederatedResponse:
+                             radius: "int | None" = None,
+                             filter: "QuerySpec | None" = None) -> FederatedResponse:
         """Batch federated CBIR: one merged response per name, in order.
 
         All query codes are resolved up front (each at its owning node),
@@ -231,9 +243,11 @@ class FederatedEarthQube:
         request_k = None if k is None else k + 1
         namespace = self._namespacing()
         targets, pre_skipped = self._compatible_targets(widths.pop())
+        filter_kwargs = {} if filter is None else {"filter_spec": filter}
         outcomes, meta = self.executor.scatter(
             lambda node: node.query_codes_batch(codes, k=request_k,
-                                                radius=radius),
+                                                radius=radius,
+                                                **filter_kwargs),
             nodes=targets, pre_skipped=pre_skipped)
         answered = [o for o in outcomes if o.ok]
         responses: list[SimilarityResponse] = []

@@ -98,19 +98,33 @@ class FederatedNode:
                 f"node {self.name!r} has no indexed image named {name!r}") from None
 
     def query_code(self, code: np.ndarray, *, k: "int | None" = None,
-                   radius: "int | None" = None) -> tuple[list, int]:
-        """One packed-code CBIR query, via the node's gateway if enabled."""
+                   radius: "int | None" = None,
+                   filter_spec: "QuerySpec | None" = None) -> tuple[list, int]:
+        """One packed-code CBIR query, via the node's gateway if enabled.
+
+        ``filter_spec`` is resolved against *this node's* metadata tier —
+        every archive applies the same metadata constraints to its own
+        corpus before its candidates join the federated merge.
+        """
         if self.system.gateway is not None:
-            return self.system.gateway.query_code(code, k=k, radius=radius)
-        return self.system.cbir.query_code(code, k=k, radius=radius)
+            return self.system.gateway.query_code(code, k=k, radius=radius,
+                                                  filter=filter_spec)
+        return self.system.cbir.query_code(
+            code, k=k, radius=radius,
+            filter=self.system.row_filter_for(filter_spec))
 
     def query_codes_batch(self, codes: np.ndarray, *, k: "int | None" = None,
                           radius: "int | None" = None,
+                          filter_spec: "QuerySpec | None" = None,
                           ) -> list[tuple[list, int]]:
         """Batch packed-code CBIR, via the node's gateway if enabled."""
         if self.system.gateway is not None:
-            return self.system.gateway.query_codes_batch(codes, k=k, radius=radius)
-        return self.system.cbir.query_codes_batch(codes, k=k, radius=radius)
+            return self.system.gateway.query_codes_batch(codes, k=k,
+                                                         radius=radius,
+                                                         filter=filter_spec)
+        return self.system.cbir.query_codes_batch(
+            codes, k=k, radius=radius,
+            filter=self.system.row_filter_for(filter_spec))
 
     def search(self, spec: "QuerySpec") -> "SearchResponse":
         """Query-panel search against this archive."""

@@ -66,6 +66,27 @@ def pairwise_hamming(codes_a: np.ndarray, codes_b: "np.ndarray | None" = None,
     return out
 
 
+def as_allowed_mask(allowed: np.ndarray) -> np.ndarray:
+    """Validate/coerce an allowed-row mask to a 1D boolean array.
+
+    The mask is positional: ``allowed[row]`` says whether insertion row
+    ``row`` may appear in filtered results.  Rows at or beyond the mask's
+    length are disallowed (a mask snapshotted before an online ``add``
+    simply excludes the newer rows).
+    """
+    allowed = np.asarray(allowed)
+    if allowed.ndim != 1:
+        raise ShapeError(f"allowed mask must be 1D, got shape {allowed.shape}")
+    if allowed.dtype != bool:
+        allowed = allowed.astype(bool)
+    return allowed
+
+
+def allowed_row_indices(allowed: np.ndarray, num_rows: int) -> np.ndarray:
+    """Sorted indices ``< num_rows`` that the mask allows."""
+    return np.flatnonzero(as_allowed_mask(allowed)[:num_rows])
+
+
 def top_k_smallest(distances: np.ndarray, k: int) -> np.ndarray:
     """Indices of the ``k`` smallest distances, ties broken by index.
 

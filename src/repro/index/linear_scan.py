@@ -4,6 +4,11 @@ Computes the distance from the query to *every* stored code with the
 popcount kernel, then selects.  O(N) per query but with a tiny constant —
 this is what FAISS's ``IndexBinaryFlat`` does — so it is the honest baseline
 for demonstrating when bucket lookups actually win.
+
+Every search accepts an optional ``allowed`` row mask (filtered-similarity
+pushdown): selection is restricted to allowed insertion rows with the same
+(distance, row) order, byte-identical to ranking everything and dropping
+disallowed rows afterwards.
 """
 
 from __future__ import annotations
@@ -13,7 +18,13 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
-from .hamming import hamming_distances_to_query, pairwise_hamming, top_k_smallest
+from .hamming import (
+    allowed_row_indices,
+    as_allowed_mask,
+    hamming_distances_to_query,
+    pairwise_hamming,
+    top_k_smallest,
+)
 from .results import SearchResult
 
 # Batch scans chunk the query axis so peak memory stays bounded at
@@ -49,68 +60,119 @@ class LinearScanIndex:
             raise EmptyIndexError("search on an empty LinearScanIndex")
         return self._codes
 
-    def search_radius(self, code: np.ndarray, radius: int) -> list[SearchResult]:
-        """All items within ``radius``, nearest first."""
+    def _allowed_rows(self, allowed: np.ndarray) -> np.ndarray:
+        """The allowed insertion rows (pre-filter gather set)."""
+        return allowed_row_indices(allowed, len(self._ids))
+
+    def search_radius(self, code: np.ndarray, radius: int,
+                      *, allowed: "np.ndarray | None" = None,
+                      ) -> list[SearchResult]:
+        """All (allowed) items within ``radius``, nearest first.
+
+        With ``allowed`` set, only the allowed rows are gathered and
+        scanned — the pre-filter pushdown: cost scales with the allowed
+        subset, not the corpus.
+        """
         if radius < 0:
             raise ValidationError(f"radius must be >= 0, got {radius}")
         codes = self._require_built()
-        distances = hamming_distances_to_query(codes, np.asarray(code, dtype=np.uint64))
-        within = np.flatnonzero(distances <= radius)
-        # Canonical (distance, insertion row) order, same as search_knn.
-        order = np.lexsort((within, distances[within]))
-        return [SearchResult(self._ids[int(row)], int(distances[row]))
-                for row in within[order]]
+        query = np.asarray(code, dtype=np.uint64)
+        if allowed is None:
+            distances = hamming_distances_to_query(codes, query)
+            within = np.flatnonzero(distances <= radius)
+            order = np.lexsort((within, distances[within]))
+            rows, kept = within[order], distances[within[order]]
+        else:
+            rows0 = self._allowed_rows(as_allowed_mask(allowed))
+            sub = hamming_distances_to_query(codes[rows0], query)
+            inside = sub <= radius
+            # rows0 ascending -> stable sort by distance is canonical.
+            order = np.argsort(sub[inside], kind="stable")
+            rows, kept = rows0[inside][order], sub[inside][order]
+        return [SearchResult(self._ids[int(row)], int(distance))
+                for row, distance in zip(rows.tolist(), kept.tolist())]
 
-    def search_knn(self, code: np.ndarray, k: int) -> list[SearchResult]:
-        """The exact ``k`` nearest items."""
+    def search_knn(self, code: np.ndarray, k: int,
+                   *, allowed: "np.ndarray | None" = None) -> list[SearchResult]:
+        """The exact ``k`` nearest (allowed) items."""
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
         codes = self._require_built()
-        distances = hamming_distances_to_query(codes, np.asarray(code, dtype=np.uint64))
-        rows = top_k_smallest(distances, k)
-        return [SearchResult(self._ids[int(row)], int(distances[row])) for row in rows]
+        query = np.asarray(code, dtype=np.uint64)
+        if allowed is None:
+            distances = hamming_distances_to_query(codes, query)
+            rows = top_k_smallest(distances, k)
+            return [SearchResult(self._ids[int(row)], int(distances[row]))
+                    for row in rows]
+        rows0 = self._allowed_rows(as_allowed_mask(allowed))
+        sub = hamming_distances_to_query(codes[rows0], query)
+        selection = top_k_smallest(sub, k)  # index tie-break == row tie-break
+        return [SearchResult(self._ids[int(rows0[s])], int(sub[s]))
+                for s in selection.tolist()]
 
     # ------------------------------------------------------------------ #
     # Batch queries: one distance-matrix scan covers the whole batch
     # ------------------------------------------------------------------ #
 
-    def _batch_distances(self, codes: np.ndarray) -> np.ndarray:
-        """``(Q, N)`` distances of a query batch to every stored code."""
+    def _batch_distances(self, codes: np.ndarray,
+                         rows: "np.ndarray | None" = None) -> np.ndarray:
+        """``(Q, N)`` (or ``(Q, |rows|)``) distances of a query batch."""
         archive = self._require_built()
         queries = np.asarray(codes, dtype=np.uint64)
         if queries.ndim != 2:
             raise ValidationError(
                 f"batch search expects (Q, W) packed codes, got {queries.shape}")
+        if rows is not None:
+            archive = archive[rows]
         return pairwise_hamming(queries, archive,
                                 chunk_rows=_BATCH_CHUNK_QUERIES)
 
     def search_knn_batch(self, codes: np.ndarray, k: int,
+                         *, allowed: "np.ndarray | None" = None,
                          ) -> "list[list[SearchResult]]":
         """Exact kNN for a ``(Q, W)`` batch of packed queries.
 
         Byte-identical to calling :meth:`search_knn` per query, but the
         XOR/popcount work runs as one vectorized distance-matrix scan.
+        ``allowed`` (one mask shared by the whole batch) restricts every
+        query to the allowed rows, gathered once for the batch.
         """
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
-        distances = self._batch_distances(codes)
+        rows0 = (None if allowed is None
+                 else self._allowed_rows(as_allowed_mask(allowed)))
+        distances = self._batch_distances(codes, rows0)
         out: "list[list[SearchResult]]" = []
         for row_distances in distances:
-            rows = top_k_smallest(row_distances, k)
-            out.append([SearchResult(self._ids[int(row)], int(row_distances[row]))
-                        for row in rows])
+            selection = top_k_smallest(row_distances, k)
+            if rows0 is None:
+                out.append([SearchResult(self._ids[int(s)], int(row_distances[s]))
+                            for s in selection.tolist()])
+            else:
+                out.append([SearchResult(self._ids[int(rows0[s])],
+                                         int(row_distances[s]))
+                            for s in selection.tolist()])
         return out
 
     def search_radius_batch(self, codes: np.ndarray, radius: int,
+                            *, allowed: "np.ndarray | None" = None,
                             ) -> "list[list[SearchResult]]":
         """Radius search for a ``(Q, W)`` batch of packed queries."""
         if radius < 0:
             raise ValidationError(f"radius must be >= 0, got {radius}")
-        distances = self._batch_distances(codes)
+        rows0 = (None if allowed is None
+                 else self._allowed_rows(as_allowed_mask(allowed)))
+        distances = self._batch_distances(codes, rows0)
         out: "list[list[SearchResult]]" = []
         for row_distances in distances:
-            within = np.flatnonzero(row_distances <= radius)
-            order = np.lexsort((within, row_distances[within]))
-            out.append([SearchResult(self._ids[int(row)], int(row_distances[row]))
-                        for row in within[order]])
+            inside = np.flatnonzero(row_distances <= radius)
+            order = np.argsort(row_distances[inside], kind="stable")
+            selection = inside[order]
+            if rows0 is None:
+                out.append([SearchResult(self._ids[int(s)], int(row_distances[s]))
+                            for s in selection.tolist()])
+            else:
+                out.append([SearchResult(self._ids[int(rows0[s])],
+                                         int(row_distances[s]))
+                            for s in selection.tolist()])
         return out

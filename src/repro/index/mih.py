@@ -70,6 +70,7 @@ import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
 from .codes import WORD_BITS
+from .hamming import as_allowed_mask
 from .results import RadiusSearchStats, SearchResult
 
 # Flip-mask sets depend only on (substring width, substring radius); they
@@ -97,6 +98,21 @@ def _sorted_unique(values: np.ndarray, domain: int) -> np.ndarray:
         flags[values] = True
         return np.flatnonzero(flags)
     return np.unique(values)
+
+
+def _allowed_keep(rows: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+    """Boolean keep-flags for candidate ``rows`` under an allowed mask.
+
+    Rows at or beyond the mask length are disallowed (the mask may have
+    been snapshotted before online adds).  Used to restrict verification
+    to the allowed-row mask: disallowed candidates are dropped *before*
+    their full Hamming distance is computed.
+    """
+    keep = rows < allowed.shape[0]
+    if keep.all():
+        return allowed[rows]
+    keep[keep] = allowed[rows[keep]]
+    return keep
 
 
 def flip_masks(width: int, radius: int) -> np.ndarray:
@@ -484,6 +500,7 @@ class MultiIndexHashing:
         return queries
 
     def _radius_arrays(self, queries: np.ndarray, radius: int,
+                       allowed: "np.ndarray | None" = None,
                        ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, int, np.ndarray]":
         """Verified results of a radius batch, as raw arrays.
 
@@ -491,7 +508,9 @@ class MultiIndexHashing:
         rows/distances are sorted by (query, distance, row), and query
         ``q`` owns the slice ``[bounds[q], bounds[q + 1])``.  Shared by the
         radius and kNN paths so intermediate kNN rounds never pay for
-        materializing result objects they are about to discard.
+        materializing result objects they are about to discard.  With
+        ``allowed`` set, disallowed candidates are dropped before
+        verification (candidate counts report post-mask candidates).
         """
         num_queries = queries.shape[0]
         archive_codes = self._materialize()
@@ -500,11 +519,14 @@ class MultiIndexHashing:
             # Bucket enumeration would cost more than scanning the archive
             # (and its mask sets would be combinatorially large): verify
             # every row instead.  Same exact results, bounded cost.
-            return self._linear_radius_arrays(queries, radius, archive_codes)
+            return self._linear_radius_arrays(queries, radius, archive_codes,
+                                              allowed)
         empty = np.empty(0, dtype=np.int64)
         if num_queries == 1:
             row_of, probes = self._single_candidates(
                 queries[0], substring_radius)
+            if allowed is not None and row_of.shape[0]:
+                row_of = row_of[_allowed_keep(row_of, allowed)]
             candidate_counts = np.array([row_of.shape[0]], dtype=np.int64)
             if row_of.shape[0]:
                 distances = np.bitwise_count(
@@ -523,6 +545,10 @@ class MultiIndexHashing:
             return rows_sorted, distances_sorted, bounds, probes, candidate_counts
         query_of, row_of, probes = self._batch_candidates(
             queries, substring_radius)
+        if allowed is not None and row_of.shape[0]:
+            keep = _allowed_keep(row_of, allowed)
+            query_of = query_of[keep]
+            row_of = row_of[keep]
         if not row_of.shape[0]:
             return (empty, empty, np.zeros(num_queries + 1, dtype=np.int64),
                     probes, np.zeros(num_queries, dtype=np.int64))
@@ -543,6 +569,7 @@ class MultiIndexHashing:
 
     def _linear_radius_arrays(self, queries: np.ndarray, radius: int,
                               archive_codes: np.ndarray,
+                              allowed: "np.ndarray | None" = None,
                               ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, int, np.ndarray]":
         """Exact-scan fallback with the same return shape as
         :meth:`_radius_arrays` (probes reported as the archive size)."""
@@ -551,11 +578,17 @@ class MultiIndexHashing:
         row_chunks: list[np.ndarray] = []
         distance_chunks: list[np.ndarray] = []
         bounds = np.zeros(num_queries + 1, dtype=np.int64)
+        if allowed is not None:
+            # Gather the allowed subset once: the fallback scan then costs
+            # O(|allowed|) per query instead of O(N).
+            rows0 = np.flatnonzero(allowed[:archive_codes.shape[0]])
+            archive_codes = archive_codes[rows0]
         for query_index in range(num_queries):
             distances = np.bitwise_count(
                 archive_codes ^ queries[query_index]).sum(axis=1).astype(np.int64)
-            rows = np.flatnonzero(distances <= radius)
-            kept = distances[rows]
+            within = np.flatnonzero(distances <= radius)
+            rows = within if allowed is None else rows0[within]
+            kept = distances[within]
             order = np.argsort(kept, kind="stable")  # rows ascending -> canonical
             row_chunks.append(rows[order])
             distance_chunks.append(kept[order])
@@ -568,12 +601,22 @@ class MultiIndexHashing:
                 np.full(num_queries, total_rows, dtype=np.int64))
 
     def _linear_knn(self, query: np.ndarray, k: int, limit: int,
-                    archive_codes: np.ndarray) -> list[SearchResult]:
-        """Exact-scan kNN fallback; byte-identical to a finished ladder."""
+                    archive_codes: np.ndarray,
+                    allowed: "np.ndarray | None" = None) -> list[SearchResult]:
+        """Exact-scan kNN fallback; byte-identical to a finished ladder.
+
+        With an allowed mask, only the allowed subset is gathered and
+        scanned (pre-filter pushdown)."""
+        if allowed is None:
+            rows0 = None
+        else:
+            rows0 = np.flatnonzero(allowed[:archive_codes.shape[0]])
+            archive_codes = archive_codes[rows0]
         distances = np.bitwise_count(
             archive_codes ^ query).sum(axis=1).astype(np.int64)
-        rows = np.flatnonzero(distances <= limit)
-        kept = distances[rows]
+        within = np.flatnonzero(distances <= limit)
+        rows = within if rows0 is None else rows0[within]
+        kept = distances[within]
         order = np.argsort(kept, kind="stable")[:k]
         ids = self._ids
         return [SearchResult(ids[row], distance)
@@ -589,6 +632,7 @@ class MultiIndexHashing:
 
     def search_radius_batch(self, codes: np.ndarray, radius: int,
                             *, with_stats: bool = False,
+                            allowed: "np.ndarray | None" = None,
                             ) -> ("list[list[SearchResult]] | tuple[list[list[SearchResult]], "
                                   "list[RadiusSearchStats]]"):
         """Radius search for a ``(Q, W)`` batch of packed queries.
@@ -596,14 +640,17 @@ class MultiIndexHashing:
         One vectorized probe/gather/verify pass covers the whole batch;
         each query's results are exact and ordered by
         ``(distance, insertion row)``, byte-identical to running
-        :meth:`search_radius` per query.
+        :meth:`search_radius` per query.  ``allowed`` (one mask shared by
+        the batch) restricts verification to the allowed rows.
         """
         if radius < 0:
             raise ValidationError(f"radius must be >= 0, got {radius}")
         queries = self._validate_batch(codes)
+        if allowed is not None:
+            allowed = as_allowed_mask(allowed)
         num_queries = queries.shape[0]
         rows, distances, bounds, probes, candidate_counts = \
-            self._radius_arrays(queries, radius)
+            self._radius_arrays(queries, radius, allowed)
         out = [self._materialize_results(rows, distances, int(bounds[query]),
                                          int(bounds[query + 1]))
                for query in range(num_queries)]
@@ -618,14 +665,16 @@ class MultiIndexHashing:
 
     def search_radius(self, code: np.ndarray, radius: int,
                       *, with_stats: bool = False,
+                      allowed: "np.ndarray | None" = None,
                       ) -> "list[SearchResult] | tuple[list[SearchResult], RadiusSearchStats]":
-        """All items within Hamming ``radius``, nearest first (exact)."""
+        """All (allowed) items within Hamming ``radius``, nearest first."""
         code = np.asarray(code, dtype=np.uint64)
         if code.ndim != 1:
             raise ValidationError(
                 f"search_radius expects a single packed code, got {code.shape}")
         batch = self.search_radius_batch(code[None, :], radius,
-                                         with_stats=with_stats)
+                                         with_stats=with_stats,
+                                         allowed=allowed)
         if with_stats:
             results, stats_list = batch
             return results[0], stats_list[0]
@@ -637,6 +686,7 @@ class MultiIndexHashing:
 
     def search_knn_batch(self, codes: np.ndarray, k: int,
                          *, max_radius: "int | None" = None,
+                         allowed: "np.ndarray | None" = None,
                          ) -> "list[list[SearchResult]]":
         """The ``k`` nearest items for a ``(Q, W)`` batch of queries.
 
@@ -646,16 +696,21 @@ class MultiIndexHashing:
         not seen in earlier rounds; queries that have gathered ``k``
         verified results drop out of later, more expensive rounds.
         Results are byte-identical to calling :meth:`search_knn` per
-        query.
+        query.  ``allowed`` (one mask shared by the batch) restricts the
+        ladder to allowed rows: disallowed candidates are dropped before
+        verification and never count toward ``k``.
         """
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
         queries = self._validate_batch(codes)
+        if allowed is not None:
+            allowed = as_allowed_mask(allowed)
         archive_codes = self._materialize()
         limit = max_radius if max_radius is not None else self.num_bits
         num_queries = queries.shape[0]
         if num_queries == 1:
-            return [self._knn_single(queries[0], k, limit, archive_codes)]
+            return [self._knn_single(queries[0], k, limit, archive_codes,
+                                     allowed)]
         total_rows = np.int64(len(self._ids))
         out: "list[list[SearchResult] | None]" = [None] * num_queries
         active = np.arange(num_queries, dtype=np.int64)
@@ -675,11 +730,13 @@ class MultiIndexHashing:
                 # combinatorial number of buckets.
                 for query in active.tolist():
                     out[query] = self._linear_knn(queries[query], k, limit,
-                                                  archive_codes)
+                                                  archive_codes, allowed)
                 break
             while probed_layer < substring_radius:
                 probed_layer += 1
                 fresh = self._layer_pairs(queries, active, probed_layer)
+                if allowed is not None and fresh.shape[0]:
+                    fresh = fresh[_allowed_keep(fresh % total_rows, allowed)]
                 if acc_pairs.shape[0] and fresh.shape[0]:
                     # A layer-s bucket can hold pairs already seen in a
                     # lower layer of another table; verify each pair once.
@@ -714,7 +771,8 @@ class MultiIndexHashing:
         return out  # type: ignore[return-value]
 
     def _knn_single(self, query: np.ndarray, k: int, limit: int,
-                    archive_codes: np.ndarray) -> list[SearchResult]:
+                    archive_codes: np.ndarray,
+                    allowed: "np.ndarray | None" = None) -> list[SearchResult]:
         """The incremental kNN ladder for one query (no pair keys)."""
         acc_rows = np.empty(0, dtype=np.int64)
         acc_distances = np.empty(0, dtype=np.int64)
@@ -723,11 +781,13 @@ class MultiIndexHashing:
         while True:
             substring_radius = radius // self.num_tables
             if self._probe_cost(substring_radius) > self._probe_budget():
-                return self._linear_knn(query, k, limit, archive_codes)
+                return self._linear_knn(query, k, limit, archive_codes, allowed)
             while probed_layer < substring_radius:
                 probed_layer += 1
                 fresh, _ = self._single_candidates(query, substring_radius,
                                                    layer=probed_layer)
+                if allowed is not None and fresh.shape[0]:
+                    fresh = fresh[_allowed_keep(fresh, allowed)]
                 if acc_rows.shape[0] and fresh.shape[0]:
                     pos = np.minimum(np.searchsorted(acc_rows, fresh),
                                      acc_rows.shape[0] - 1)
@@ -771,8 +831,10 @@ class MultiIndexHashing:
                                          distances[order].tolist())]
 
     def search_knn(self, code: np.ndarray, k: int,
-                   *, max_radius: "int | None" = None) -> list[SearchResult]:
-        """The ``k`` nearest items, growing the radius in substring steps.
+                   *, max_radius: "int | None" = None,
+                   allowed: "np.ndarray | None" = None) -> list[SearchResult]:
+        """The ``k`` nearest (allowed) items, growing the radius in
+        substring steps.
 
         Radius grows by ``num_tables`` per step (smaller growth cannot
         enlarge the substring radius), so each step reuses strictly more
@@ -783,4 +845,5 @@ class MultiIndexHashing:
         if code.ndim != 1:
             raise ValidationError(
                 f"search_knn expects a single packed code, got {code.shape}")
-        return self.search_knn_batch(code[None, :], k, max_radius=max_radius)[0]
+        return self.search_knn_batch(code[None, :], k, max_radius=max_radius,
+                                     allowed=allowed)[0]

@@ -28,15 +28,20 @@ _MISSING = object()
 
 
 def canonical_code_key(code: np.ndarray, *, k: "int | None",
-                       radius: "int | None") -> tuple:
+                       radius: "int | None",
+                       filter_fingerprint: "Hashable | None" = None) -> tuple:
     """Canonical cache key for a packed-code CBIR query.
 
     Two queries that would scan identically map to the same key: the code's
     bytes (packed uint64, little-endian by construction) plus the selection
-    parameters.
+    parameters.  A metadata-filtered query additionally carries the
+    filter's fingerprint, so filtered and unfiltered traffic for the same
+    code never share entries (unfiltered keys keep their historical shape).
     """
     code = np.ascontiguousarray(code, dtype=np.uint64)
-    return ("cbir", code.tobytes(), k, radius)
+    if filter_fingerprint is None:
+        return ("cbir", code.tobytes(), k, radius)
+    return ("cbir", code.tobytes(), k, radius, filter_fingerprint)
 
 
 def canonical_spec_key(spec: Any) -> tuple:

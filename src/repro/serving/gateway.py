@@ -23,6 +23,7 @@ tiers; they get the cache + metrics treatment only.
 from __future__ import annotations
 
 import copy
+import math
 import threading
 from typing import TYPE_CHECKING
 
@@ -111,20 +112,28 @@ class ServingGateway:
         return results[-1].distance if results else 0
 
     def similar_images(self, name: str, *, k: "int | None" = 10,
-                       radius: "int | None" = None) -> SimilarityResponse:
-        """Query-by-existing-example through cache -> batcher -> shards."""
+                       radius: "int | None" = None,
+                       filter: "QuerySpec | None" = None) -> SimilarityResponse:
+        """Query-by-existing-example through cache -> batcher -> shards.
+
+        ``filter`` (a metadata :class:`QuerySpec`) restricts the ranking to
+        matching images; the filter fingerprint joins the cache key and
+        micro-batch grouping so filtered and unfiltered traffic never mix.
+        """
         with self.metrics.timer("similar.total"):
             code = self.system.cbir.code_of(name)
             # The query matches itself at distance 0; fetch one extra and
             # drop it, exactly like CBIRService.query_by_name.
             request_k = None if k is None else k + 1
             results, used = self._cached_code_query(code, k=request_k,
-                                                    radius=radius)
+                                                    radius=radius,
+                                                    filter_spec=filter)
             return shape_name_response(name, results, used, k)
 
     def similar_images_batch(self, names: "list[str]", *,
                              k: "int | None" = 10,
                              radius: "int | None" = None,
+                             filter: "QuerySpec | None" = None,
                              ) -> list[SimilarityResponse]:
         """Batch CBIR through the same cache -> batcher -> shards pipeline.
 
@@ -138,12 +147,14 @@ class ServingGateway:
             self._validate_code_query(k, radius)
             codes = [self.system.cbir.code_of(name) for name in names]
             request_k = None if k is None else k + 1
-            outcomes = self.query_codes_batch(codes, k=request_k, radius=radius)
+            outcomes = self.query_codes_batch(codes, k=request_k,
+                                              radius=radius, filter=filter)
             return [shape_name_response(name, results, used, k)
                     for name, (results, used) in zip(names, outcomes)]
 
     def query_code(self, code: np.ndarray, *, k: "int | None" = None,
-                   radius: "int | None" = None) -> tuple[list, int]:
+                   radius: "int | None" = None,
+                   filter: "QuerySpec | None" = None) -> tuple[list, int]:
         """Raw packed-code search: ``(results, radius_used)``.
 
         The federation tier's per-node entry point — the same
@@ -152,19 +163,25 @@ class ServingGateway:
         caller shapes the merged response itself).
         """
         return self._cached_code_query(np.asarray(code, dtype=np.uint64),
-                                       k=k, radius=radius)
+                                       k=k, radius=radius, filter_spec=filter)
 
     def query_codes_batch(self, codes, *, k: "int | None" = None,
                           radius: "int | None" = None,
+                          filter: "QuerySpec | None" = None,
                           ) -> "list[tuple[list, int]]":
         """Batch :meth:`query_code`: one ``(results, radius_used)`` per code.
 
         Cache hits are answered immediately; all misses are submitted to
         the micro-batcher in one go (they coalesce into one scatter-gather
-        scan, sharing it with any concurrent single queries).
+        scan, sharing it with any concurrent single queries).  Filtered
+        misses that take the pre-filter plan carry the shared allowed mask
+        into the batch, so they still coalesce with each other.
         """
         self._validate_code_query(k, radius)
         codes = [np.asarray(code, dtype=np.uint64) for code in codes]
+        if filter is not None:
+            return self._filtered_codes_batch(codes, k=k, radius=radius,
+                                              filter_spec=filter)
         outcomes: "list[tuple[list, int] | None]" = [None] * len(codes)
         miss_positions: list[int] = []
         miss_keys: list[tuple] = []
@@ -194,7 +211,8 @@ class ServingGateway:
 
     def similar_to_features(self, features: np.ndarray, *,
                             k: "int | None" = 10,
-                            radius: "int | None" = None) -> SimilarityResponse:
+                            radius: "int | None" = None,
+                            filter: "QuerySpec | None" = None) -> SimilarityResponse:
         """Query-by-new-example from a raw feature vector."""
         with self.metrics.timer("similar.total"):
             features = np.asarray(features, dtype=np.float64)
@@ -202,18 +220,175 @@ class ServingGateway:
                 raise ValidationError(
                     f"query features must be 1D, got shape {features.shape}")
             code = self.system.hasher.hash_packed(features[None, :])[0]
-            results, used = self._cached_code_query(code, k=k, radius=radius)
+            results, used = self._cached_code_query(code, k=k, radius=radius,
+                                                    filter_spec=filter)
             return SimilarityResponse(None, results, used)
 
     def similar_to_new_image(self, patch: "Patch", *, k: "int | None" = 10,
-                             radius: "int | None" = None) -> SimilarityResponse:
+                             radius: "int | None" = None,
+                             filter: "QuerySpec | None" = None) -> SimilarityResponse:
         """Query-by-new-example: extract, hash, and search."""
         features = self.system.extractor.extract(patch)
-        return self.similar_to_features(features, k=k, radius=radius)
+        return self.similar_to_features(features, k=k, radius=radius,
+                                        filter=filter)
+
+    # ------------------------------------------------------------------ #
+    # Filtered execution (metadata pushdown)
+    # ------------------------------------------------------------------ #
+
+    def _row_filter(self, filter_spec: "QuerySpec"):
+        """Resolve (and cache) the allowed-row filter of a metadata spec.
+
+        The resolved mask is memoized in the result cache under the spec's
+        fingerprint, guarded by the archive generation like every other
+        entry — online ingestion both invalidates it and bumps the
+        generation, so a stale mask can never be re-inserted by a racing
+        resolution.
+        """
+        key = ("cbir-filter", repr(filter_spec))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        generation = self._generation
+        with self.metrics.timer("filter.resolve"):
+            row_filter = self.system.row_filter_for(filter_spec)
+        if generation == self._generation:
+            self.cache.put(key, row_filter)
+        return row_filter
+
+    def _filter_plan(self, row_filter) -> str:
+        """Cost-based pre/post choice (same policy as CBIRService)."""
+        threshold = self.system.cbir.config.prefilter_max_selectivity
+        corpus = len(self.index)
+        return ("pre" if row_filter.selectivity(corpus) <= threshold
+                else "post")
+
+    def _execute_filtered(self, code: np.ndarray, *, k: "int | None",
+                          radius: "int | None", row_filter,
+                          fingerprint) -> tuple[list, int]:
+        """Run one filtered code query through the chosen plan.
+
+        *Pre-filter*: the allowed mask rides the :class:`CodeQuery` into
+        the micro-batch, and every shard restricts its scan to the mask.
+        *Post-filter*: the unfiltered query runs through the normal cached
+        path (sharing scans and cache entries with unfiltered traffic),
+        over-fetched and screened by name, refilling adaptively.  Both
+        plans produce rankings byte-identical to filter-then-rank.
+        """
+        if row_filter.count == 0:
+            return [], (radius if radius is not None else 0)
+        if self._filter_plan(row_filter) == "pre":
+            self.metrics.counter("filter.prefilter").increment()
+            job = (CodeQuery(code=code, radius=radius,
+                             allowed=row_filter.mask, filter_key=fingerprint)
+                   if radius is not None
+                   else CodeQuery(code=code, k=k, allowed=row_filter.mask,
+                                  filter_key=fingerprint))
+            with self.metrics.timer("similar.execute"):
+                results = self.batcher.submit(job).result()
+            return results, self._used_radius(results, radius)
+        self.metrics.counter("filter.postfilter").increment()
+        if radius is not None:
+            results, _ = self._cached_code_query(code, k=None, radius=radius)
+            kept = [r for r in results if r.item_id in row_filter.names]
+            return kept, radius
+        corpus = len(self.index)
+        cbir_config = self.system.cbir.config
+        fetch = min(corpus, max(k, math.ceil(
+            k * corpus * cbir_config.postfilter_overfetch
+            / max(row_filter.count, 1))))
+        while True:
+            results, _ = self._cached_code_query(code, k=fetch, radius=None)
+            kept = [r for r in results if r.item_id in row_filter.names]
+            if len(kept) >= k or fetch >= corpus:
+                kept = kept[:k]
+                return kept, self._used_radius(kept, None)
+            fetch = min(corpus, fetch * 4)
+
+    def _filtered_codes_batch(self, codes: "list[np.ndarray]", *,
+                              k: "int | None", radius: "int | None",
+                              filter_spec: "QuerySpec",
+                              ) -> "list[tuple[list, int]]":
+        """Batch path for filtered queries: per-code cache, one shared
+        filter resolution, coalesced pre-filter misses."""
+        fingerprint = repr(filter_spec)
+        keys = [canonical_code_key(code,
+                                   k=None if radius is not None else k,
+                                   radius=radius,
+                                   filter_fingerprint=fingerprint)
+                for code in codes]
+        outcomes: "list[tuple[list, int] | None]" = [None] * len(codes)
+        miss_positions: list[int] = []
+        for position, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is not None:
+                outcomes[position] = (list(cached[0]), cached[1])
+            else:
+                miss_positions.append(position)
+        if not miss_positions:
+            return outcomes  # type: ignore[return-value]
+        # Snapshot the generation BEFORE resolving the mask: a racing
+        # ingest invalidates mid-resolution, and results computed from the
+        # stale mask must not be re-cached afterwards.
+        generation = self._generation
+        row_filter = self._row_filter(filter_spec)
+        if row_filter.count and self._filter_plan(row_filter) == "pre":
+            # All misses share one mask and fingerprint: submitted in one
+            # go, they coalesce into one scatter-gather scan (the
+            # micro-batch groups by filter_key).
+            self.metrics.counter("filter.prefilter").increment(
+                len(miss_positions))
+            jobs = [(CodeQuery(code=codes[p], radius=radius,
+                               allowed=row_filter.mask,
+                               filter_key=fingerprint)
+                     if radius is not None
+                     else CodeQuery(code=codes[p], k=k,
+                                    allowed=row_filter.mask,
+                                    filter_key=fingerprint))
+                    for p in miss_positions]
+            with self.metrics.timer("similar.execute"):
+                futures = self.batcher.submit_many(jobs)
+                resolved = [future.result() for future in futures]
+            for position, results in zip(miss_positions, resolved):
+                used = self._used_radius(results, radius)
+                if generation == self._generation:
+                    self.cache.put(keys[position], (tuple(results), used))
+                outcomes[position] = (results, used)
+        else:
+            for position in miss_positions:
+                results, used = self._execute_filtered(
+                    codes[position], k=k, radius=radius,
+                    row_filter=row_filter, fingerprint=fingerprint)
+                if generation == self._generation:
+                    self.cache.put(keys[position], (tuple(results), used))
+                outcomes[position] = (results, used)
+        return outcomes  # type: ignore[return-value]
 
     def _cached_code_query(self, code: np.ndarray, *, k: "int | None",
-                           radius: "int | None") -> tuple[list, int]:
+                           radius: "int | None",
+                           filter_spec: "QuerySpec | None" = None,
+                           ) -> tuple[list, int]:
         self._validate_code_query(k, radius)
+        if filter_spec is not None:
+            fingerprint = repr(filter_spec)
+            key = canonical_code_key(code,
+                                     k=None if radius is not None else k,
+                                     radius=radius,
+                                     filter_fingerprint=fingerprint)
+            cached = self.cache.get(key)
+            if cached is not None:
+                results, used = cached
+                return list(results), used
+            # Generation snapshot precedes mask resolution (see
+            # _filtered_codes_batch): stale-mask results must not be cached.
+            generation = self._generation
+            row_filter = self._row_filter(filter_spec)
+            results, used = self._execute_filtered(
+                code, k=k, radius=radius, row_filter=row_filter,
+                fingerprint=fingerprint)
+            if generation == self._generation:
+                self.cache.put(key, (tuple(results), used))
+            return results, used
         key, job = self._code_key_and_job(code, k=k, radius=radius)
         cached = self.cache.get(key)
         if cached is not None:

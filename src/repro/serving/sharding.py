@@ -32,18 +32,29 @@ from typing import Hashable, Iterable, Sequence
 import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
-from ..index.hamming import pairwise_hamming, top_k_smallest
+from ..index.hamming import as_allowed_mask, pairwise_hamming, top_k_smallest
 from ..index.mih import MultiIndexHashing
 from ..index.results import SearchResult
 
 
 @dataclass(frozen=True)
 class CodeQuery:
-    """One retrieval request against packed codes: kNN or radius search."""
+    """One retrieval request against packed codes: kNN or radius search.
+
+    ``allowed`` is an optional boolean mask over *global* insertion rows
+    (the filtered-similarity pushdown): every shard restricts its scan /
+    verification to the allowed rows, and the merged result equals
+    filtering a global ranking.  ``filter_key`` is the filter's
+    fingerprint — it joins the single-flight dedup key so two queries only
+    share a scan when they share both code *and* filter, and it groups
+    jobs within a micro-batch so one mask translation covers the group.
+    """
 
     code: np.ndarray
     k: "int | None" = None
     radius: "int | None" = None
+    allowed: "np.ndarray | None" = None
+    filter_key: "Hashable | None" = None
 
     def __post_init__(self) -> None:
         if (self.k is None) == (self.radius is None):
@@ -52,6 +63,17 @@ class CodeQuery:
             raise ValidationError(f"k must be positive, got {self.k}")
         if self.radius is not None and self.radius < 0:
             raise ValidationError(f"radius must be >= 0, got {self.radius}")
+        if self.allowed is not None:
+            object.__setattr__(self, "allowed", as_allowed_mask(self.allowed))
+
+    @property
+    def dedup_key(self) -> tuple:
+        """Single-flight identity: code bytes + parameters + filter."""
+        code = np.ascontiguousarray(self.code, dtype=np.uint64)
+        filter_part = (None if self.allowed is None
+                       else (self.filter_key if self.filter_key is not None
+                             else id(self.allowed)))
+        return (code.tobytes(), self.k, self.radius, filter_part)
 
 
 class _LinearShard:
@@ -87,32 +109,61 @@ class _LinearShard:
              chunk_rows: int) -> "list[tuple[np.ndarray, np.ndarray]]":
         """Per-job ``(global_rows, distances)`` candidates from this shard.
 
-        One vectorized distance-matrix scan covers the whole batch — this is
-        the coalescing the micro-batcher buys.
+        Jobs are grouped by filter: the unfiltered group shares one
+        vectorized distance-matrix scan over the whole shard (the
+        coalescing the micro-batcher buys), and each filtered group
+        gathers its allowed rows once and scans only that subset — the
+        pre-filter pushdown, whose cost scales with the allowed rows.
 
         Read-only: runs on pool threads after :meth:`prepare` folded pending
         codes in under the index lock (an ``add`` racing with this scan
         becomes visible at the next prepare, never corrupts this one).
         """
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
         codes = self._codes
         if codes is None or codes.shape[0] == 0:
-            empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
             return [empty for _ in jobs]
         rows = np.asarray(self._rows[:codes.shape[0]], dtype=np.int64)
-        # Chunk over the *corpus* axis (the one that grows): peak memory is
-        # chunk_rows * Q * W words however large the shard gets.
-        distances = pairwise_hamming(codes, queries, chunk_rows=chunk_rows).T
-        out: list[tuple[np.ndarray, np.ndarray]] = []
+        groups: dict["Hashable | None", list[int]] = {}
         for i, job in enumerate(jobs):
-            if job.radius is not None:
-                local = np.flatnonzero(distances[i] <= job.radius)
+            filter_part = (None if job.allowed is None
+                           else (job.filter_key if job.filter_key is not None
+                                 else id(job.allowed)))
+            groups.setdefault(filter_part, []).append(i)
+        out: "list[tuple[np.ndarray, np.ndarray] | None]" = [None] * len(jobs)
+        for filter_part, indices in groups.items():
+            if filter_part is None:
+                sub_codes, sub_rows = codes, rows
             else:
-                # Local selection order (distance, local row) equals global
-                # (distance, global row): round-robin assignment appends
-                # rows to a shard in increasing global order.
-                local = top_k_smallest(distances[i], job.k)
-            out.append((rows[local], distances[i][local]))
-        return out
+                # Global allowed mask -> this shard's allowed subset (rows
+                # beyond the mask were added after it was snapshotted and
+                # are disallowed).
+                allowed = jobs[indices[0]].allowed
+                keep = rows < allowed.shape[0]
+                keep[keep] = allowed[rows[keep]]
+                local = np.flatnonzero(keep)
+                sub_codes, sub_rows = codes[local], rows[local]
+            if sub_codes.shape[0] == 0:
+                for i in indices:
+                    out[i] = empty
+                continue
+            # Chunk over the *corpus* axis (the one that grows): peak
+            # memory is chunk_rows * Q * W words however large the shard
+            # gets.
+            group_queries = queries[np.asarray(indices, dtype=np.int64)]
+            distances = pairwise_hamming(sub_codes, group_queries,
+                                         chunk_rows=chunk_rows).T
+            for position, i in enumerate(indices):
+                job = jobs[i]
+                if job.radius is not None:
+                    local_sel = np.flatnonzero(distances[position] <= job.radius)
+                else:
+                    # Local selection order (distance, local row) equals
+                    # global (distance, global row): sub_rows ascends with
+                    # the local row index.
+                    local_sel = top_k_smallest(distances[position], job.k)
+                out[i] = (sub_rows[local_sel], distances[position][local_sel])
+        return out  # type: ignore[return-value]
 
 
 class _MIHShard:
@@ -127,6 +178,9 @@ class _MIHShard:
     def __init__(self, num_bits: int, mih_tables: int) -> None:
         self.num_bits = num_bits
         self._index = MultiIndexHashing(num_bits, mih_tables)
+        # Global row of each local insertion row, for translating a global
+        # allowed mask into the local mask MIH's filtered search expects.
+        self._global_rows: list[int] = []
         self._shard_lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -135,6 +189,15 @@ class _MIHShard:
     def add(self, row: int, code: np.ndarray) -> None:
         with self._shard_lock:
             self._index.add(row, code)
+            self._global_rows.append(row)
+
+    def _local_mask(self, allowed: np.ndarray) -> np.ndarray:
+        """The shard-local allowed mask for a global allowed mask."""
+        global_rows = np.asarray(self._global_rows, dtype=np.int64)
+        keep = global_rows < allowed.shape[0]
+        mask = np.zeros(global_rows.shape[0], dtype=bool)
+        mask[keep] = allowed[global_rows[keep]]
+        return mask
 
     def prepare(self) -> None:
         with self._shard_lock:
@@ -147,23 +210,37 @@ class _MIHShard:
         with self._shard_lock:
             if len(self._index) == 0:
                 return [empty for _ in jobs]
-            # Group jobs by (kind, parameter) and run each group through
-            # the MIH batch path — candidate gathering and verification
-            # vectorize across the group instead of looping queries.
+            # Group jobs by (kind, parameter, filter) and run each group
+            # through the MIH batch path — candidate gathering and
+            # verification vectorize across the group instead of looping
+            # queries, and one global->local mask translation covers every
+            # job sharing a filter.
             out: "list[tuple[np.ndarray, np.ndarray] | None]" = [None] * len(jobs)
             groups: dict[tuple, list[int]] = {}
+            # One global->local mask translation per *filter* (not per
+            # group): a kNN job and a radius job sharing a filter reuse it.
+            masks: dict[object, "np.ndarray | None"] = {None: None}
             for i, job in enumerate(jobs):
-                kind = (("radius", job.radius) if job.radius is not None
-                        else ("knn", job.k))
+                filter_part = (None if job.allowed is None
+                               else (job.filter_key
+                                     if job.filter_key is not None
+                                     else id(job.allowed)))
+                kind = (("radius", job.radius, filter_part)
+                        if job.radius is not None
+                        else ("knn", job.k, filter_part))
                 groups.setdefault(kind, []).append(i)
-            for (kind, parameter), indices in groups.items():
+                if filter_part not in masks:
+                    masks[filter_part] = self._local_mask(job.allowed)
+            for group_key, indices in groups.items():
+                kind, parameter, filter_part = group_key
                 group_queries = queries[np.asarray(indices, dtype=np.int64)]
+                local_mask = masks[filter_part]
                 if kind == "radius":
                     batches = self._index.search_radius_batch(
-                        group_queries, parameter)
+                        group_queries, parameter, allowed=local_mask)
                 else:
                     batches = self._index.search_knn_batch(
-                        group_queries, parameter)
+                        group_queries, parameter, allowed=local_mask)
                 for i, results in zip(indices, batches):
                     rows = np.fromiter((r.item_id for r in results),
                                        dtype=np.int64, count=len(results))
@@ -292,13 +369,12 @@ class ShardedHammingIndex:
                 shard.prepare()
 
         # Single-flight within the batch: concurrent users asking the same
-        # question (popular patches) share one scan.
+        # question (popular patches, same filter) share one scan.
         unique_jobs: list[CodeQuery] = []
         slot_of: dict[tuple, int] = {}
         slots = []
         for job in jobs:
-            code = np.ascontiguousarray(job.code, dtype=np.uint64)
-            key = (code.tobytes(), job.k, job.radius)
+            key = job.dedup_key
             if key not in slot_of:
                 slot_of[key] = len(unique_jobs)
                 unique_jobs.append(job)

@@ -14,6 +14,7 @@ This package reproduces those mechanisms:
 """
 
 from .collection import Collection, FindResult
+from .columnar import SortedDateColumn, iso_to_int64
 from .database import Database
 from .indexes import GeoHashIndex, HashIndex, UniqueIndex
 from .matcher import matches
@@ -25,5 +26,7 @@ __all__ = [
     "HashIndex",
     "UniqueIndex",
     "GeoHashIndex",
+    "SortedDateColumn",
+    "iso_to_int64",
     "matches",
 ]

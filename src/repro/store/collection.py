@@ -1,30 +1,48 @@
-"""Document collections with index-aware query execution.
+"""Document collections with a columnar, index-intersecting query planner.
 
-A :class:`Collection` stores dict documents under integer doc ids, maintains
-secondary indexes, and answers Mongo-style ``find`` queries through a small
-planner:
+A :class:`Collection` stores dict documents under monotonically increasing
+integer doc ids and maintains, next to the doc dicts, a set of *column
+projections* the query planner probes vectorially:
 
-1. if the query pins an indexed field by equality/``$in``, start from that
-   index's bucket(s);
-2. else if the query has a geo constraint on a geo-indexed field, start from
-   the geohash cover candidates;
-3. otherwise scan the collection.
+* **inverted posting arrays** — every :class:`~repro.store.indexes.
+  HashIndex` posting set is mirrored as a cached sorted ``int64`` doc-id
+  array, so categorical predicates (season, satellites, labels, label
+  chars, country) resolve to array probes;
+* **sorted date columns** — :class:`~repro.store.columnar.SortedDateColumn`
+  keeps a value-sorted ``(int64 values, int64 doc ids)`` projection of an
+  ISO date field; range predicates become two ``np.searchsorted`` calls;
+* **geohash bucket posting lists** — the
+  :class:`~repro.store.indexes.GeoHashIndex` cell buckets, unioned over a
+  query cover.
 
-Whatever the access path, every candidate is verified against the full query
-by :func:`repro.store.matcher.matches`, so plans never change results — only
-cost.  ``find`` reports which path it took in :class:`FindResult.plan`,
-which the data-tier benchmarks (experiment E11) use to confirm the geohash
-index is actually exercised.
+Query planning intersects the sorted id arrays of **all** applicable
+conditions (equality/``$in``/``$all`` on posting arrays, date ranges on
+sorted columns, geo covers on geohash buckets) with
+``np.intersect1d`` — it no longer stops at the first usable index.  The
+result is a candidate *superset*: every candidate is still verified
+against the full query by :func:`repro.store.matcher.matches`, so plans
+never change results — only cost.  ``find`` reports the chosen access
+path in :class:`FindResult.plan` (``"columnar:a&b"`` when several column
+sources were intersected) and accepts ``hint="scan"`` to force the
+sequential path, which the plan-equivalence tests use to prove plans are
+result-neutral.
+
+Copy discipline: only the returned page is deep-copied.  Candidates,
+matched documents, sort keys, ``count``, ``distinct``, and
+:meth:`Collection.field_values` all operate on in-place references.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
+import numpy as np
+
 from ..errors import DocumentNotFoundError, IndexError_, StoreError
-from .indexes import GeoHashIndex, HashIndex, UniqueIndex
+from .columnar import SortedDateColumn, ids_array, intersect_id_arrays, iso_to_int64
+from .indexes import GeoHashIndex, HashIndex, UniqueIndex, _hashable
 from .matcher import (
     extract_all_values,
     extract_equality,
@@ -37,11 +55,13 @@ from .matcher import (
 
 @dataclass
 class FindResult:
-    """Result of :meth:`Collection.find`: matched documents plus plan info."""
+    """Result of :meth:`Collection.find`: the (paginated) documents plus
+    plan info and the pre-pagination match count."""
 
     documents: list[dict]
     plan: str = "scan"
     candidates_examined: int = 0
+    total_matches: int = 0
 
     def __len__(self) -> int:
         return len(self.documents)
@@ -53,8 +73,70 @@ class FindResult:
         return self.documents[i]
 
 
+def _iter_field_conditions(query: Mapping[str, Any]):
+    """Yield every ``(field, condition)`` pair AND-ed by the query: the
+    top-level field conditions plus those nested under ``$and`` (at any
+    depth).  ``$or``/``$nor`` branches cannot narrow an AND-intersection
+    plan and are skipped."""
+    for key, condition in query.items():
+        if key == "$and":
+            if isinstance(condition, (list, tuple)):
+                for sub in condition:
+                    if isinstance(sub, Mapping):
+                        yield from _iter_field_conditions(sub)
+        elif not key.startswith("$"):
+            yield key, condition
+
+
+def _scalar_values(values: Iterable[Any]) -> bool:
+    """True when every value is usable as a posting key: ``None`` matches
+    missing fields (not indexed) and list/tuple operands match whole-array
+    equality (postings hold elements, not whole arrays), so both disqualify
+    the posting-array access path."""
+    return all(v is not None and not isinstance(v, (list, tuple))
+               for v in values)
+
+
+_DATE_LOWER_OPS = ("$gt", "$gte")
+_DATE_UPPER_OPS = ("$lt", "$lte")
+
+
+def _date_range_ids(column: SortedDateColumn,
+                    condition: Any) -> "np.ndarray | None":
+    """Candidate ids for an ordered/equality condition on a date column.
+
+    Builds the tightest inclusive ``[lo, hi]`` int64 range that is still a
+    superset of the string predicate (strict bounds are widened to
+    inclusive — the exact matcher re-applies strictness).  Returns ``None``
+    when the condition has no parseable ordered constraint.
+    """
+    lo: "int | None" = None
+    hi: "int | None" = None
+    applicable = False
+    if isinstance(condition, str):
+        point = iso_to_int64(condition)
+        if point is None:
+            return None
+        lo = hi = point
+        applicable = True
+    elif isinstance(condition, Mapping):
+        for op, operand in condition.items():
+            if op in _DATE_LOWER_OPS or op in _DATE_UPPER_OPS or op == "$eq":
+                parsed = iso_to_int64(operand)
+                if parsed is None:
+                    continue
+                if op in _DATE_LOWER_OPS or op == "$eq":
+                    lo = parsed if lo is None else max(lo, parsed)
+                if op in _DATE_UPPER_OPS or op == "$eq":
+                    hi = parsed if hi is None else min(hi, parsed)
+                applicable = True
+    if not applicable:
+        return None
+    return column.ids_in_range(lo, hi)
+
+
 class Collection:
-    """A named collection of documents with secondary indexes."""
+    """A named collection of documents with secondary indexes/columns."""
 
     def __init__(self, name: str, *, primary_key: "str | None" = None) -> None:
         self.name = name
@@ -64,6 +146,7 @@ class Collection:
         self._unique_indexes: dict[str, UniqueIndex] = {}
         self._hash_indexes: dict[str, HashIndex] = {}
         self._geo_indexes: dict[str, GeoHashIndex] = {}
+        self._date_columns: dict[str, SortedDateColumn] = {}
         if primary_key is not None:
             self.create_unique_index(primary_key)
 
@@ -103,19 +186,29 @@ class Collection:
             index.add(doc_id, doc)
         self._geo_indexes[field_path] = index
 
+    def create_date_column(self, field_path: str) -> None:
+        """Create a sorted int64 column projection of an ISO date field."""
+        if field_path in self._date_columns:
+            return
+        column = SortedDateColumn(field_path)
+        column.bulk_add(self._docs.keys(), self._docs.values())
+        self._date_columns[field_path] = column
+
     def drop_index(self, field_path: str) -> None:
-        """Drop any secondary index on ``field_path`` (primary key excluded)."""
+        """Drop any secondary index/column on ``field_path`` (primary key
+        excluded)."""
         if field_path == self.primary_key:
             raise IndexError_("cannot drop the primary key index")
         self._unique_indexes.pop(field_path, None)
         self._hash_indexes.pop(field_path, None)
         self._geo_indexes.pop(field_path, None)
+        self._date_columns.pop(field_path, None)
 
     @property
     def index_fields(self) -> set[str]:
         """All indexed field paths (for introspection/tests)."""
         return (set(self._unique_indexes) | set(self._hash_indexes)
-                | set(self._geo_indexes))
+                | set(self._geo_indexes) | set(self._date_columns))
 
     # ------------------------------------------------------------------ #
     # Writes
@@ -141,13 +234,72 @@ class Collection:
             for index in self._unique_indexes.values():
                 index.remove(doc_id, doc)
             raise
+        for column in self._date_columns.values():
+            column.add(doc_id, doc)
         self._docs[doc_id] = doc
         self._next_id += 1
         return doc_id
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
-        """Insert documents one by one; stops at the first failure."""
-        return [self.insert_one(doc) for doc in documents]
+        """Bulk insert with batched index/column updates.
+
+        The batch is validated up front (mapping-ness, unique-key conflicts
+        against the collection *and* within the batch, geo-cell covers);
+        a clean batch is then applied index-major — each index/column
+        ingests the whole batch in one pass, and date columns defer their
+        re-sort to the next probe.  A batch that would fail validation
+        falls back to the sequential path, preserving the historical
+        semantics exactly: documents before the offending one are inserted,
+        then the error is raised.
+        """
+        docs = list(documents)
+        prepared = self._prepare_bulk(docs)
+        if prepared is None:
+            return [self.insert_one(doc) for doc in docs]
+        doc_ids = list(range(self._next_id, self._next_id + len(prepared)))
+        for index in self._unique_indexes.values():
+            for doc_id, doc in zip(doc_ids, prepared):
+                index.add(doc_id, doc)
+        for index in self._hash_indexes.values():
+            for doc_id, doc in zip(doc_ids, prepared):
+                index.add(doc_id, doc)
+        for index in self._geo_indexes.values():
+            for doc_id, doc in zip(doc_ids, prepared):
+                index.add(doc_id, doc)
+        for column in self._date_columns.values():
+            column.bulk_add(doc_ids, prepared)
+        for doc_id, doc in zip(doc_ids, prepared):
+            self._docs[doc_id] = doc
+        self._next_id += len(prepared)
+        return doc_ids
+
+    def _prepare_bulk(self, docs: "list[Any]") -> "list[dict] | None":
+        """Validate a batch for the fast path; ``None`` demands fallback."""
+        prepared: list[dict] = []
+        for document in docs:
+            if not isinstance(document, Mapping):
+                return None
+            prepared.append(dict(document))
+        for field_path, index in self._unique_indexes.items():
+            seen: set[Any] = set()
+            for doc in prepared:
+                value = get_path(doc, field_path)
+                if is_missing(value):
+                    return None
+                key = _hashable(value)
+                if key in seen or index.find(value) is not None:
+                    return None
+                seen.add(key)
+        for index in self._geo_indexes.values():
+            for doc in prepared:
+                box = index._box_for(doc)
+                if box is None:
+                    continue
+                try:
+                    index._cells_for_box(box)
+                except Exception:
+                    return None
+        return prepared
 
     def delete_one(self, query: Mapping[str, Any]) -> int:
         """Delete the first matching document; returns number deleted (0/1)."""
@@ -161,7 +313,7 @@ class Collection:
     def delete_many(self, query: Mapping[str, Any]) -> int:
         """Delete all matching documents; returns the count."""
         victims = [doc_id for doc_id in self._plan_candidates(query)[0]
-                   if matches(self._docs[doc_id], query)]
+                   if doc_id in self._docs and matches(self._docs[doc_id], query)]
         for doc_id in victims:
             self._remove(doc_id)
         return len(victims)
@@ -187,6 +339,8 @@ class Collection:
                 index.add(doc_id, new_doc)
             for index in self._geo_indexes.values():
                 index.add(doc_id, new_doc)
+            for column in self._date_columns.values():
+                column.add(doc_id, new_doc)
             self._docs[doc_id] = new_doc
             return 1
         return 0
@@ -215,6 +369,8 @@ class Collection:
             index.remove(doc_id, doc)
         for index in self._geo_indexes.values():
             index.remove(doc_id, doc)
+        for column in self._date_columns.values():
+            column.remove(doc_id, doc)
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -224,10 +380,14 @@ class Collection:
         return len(self._docs)
 
     def count(self, query: "Mapping[str, Any] | None" = None) -> int:
-        """Number of documents matching ``query`` (all when ``None``)."""
+        """Number of documents matching ``query`` (all when ``None``).
+
+        Counts over in-place references — no document is copied.
+        """
         if not query:
             return len(self._docs)
-        return len(self.find(query).documents)
+        matched, _, _ = self._matching_docs(query)
+        return len(matched)
 
     def get(self, key: Any) -> dict:
         """Primary-key point lookup; raises when absent or no primary key."""
@@ -239,43 +399,72 @@ class Collection:
                 f"no document with {self.primary_key}={key!r} in {self.name!r}")
         return copy.deepcopy(self._docs[doc_id])
 
-    def _plan_candidates(self, query: Mapping[str, Any]) -> tuple[list[int], str]:
-        """Choose an access path; returns (candidate doc ids, plan name)."""
-        if query:
-            # 1. unique index equality
-            for field_path, index in self._unique_indexes.items():
-                values = extract_equality(query, field_path)
-                if values is not None:
-                    ids = [i for i in (index.find(v) for v in values) if i is not None]
-                    return ids, f"unique_index:{field_path}"
-            # 2. hash index equality / $in / $all
-            for field_path, index in self._hash_indexes.items():
-                values = extract_equality(query, field_path)
-                if values is not None:
-                    return sorted(index.find_any(values)), f"hash_index:{field_path}"
-                all_values = extract_all_values(query, field_path)
-                if all_values is not None:
-                    # Any one value gives a superset; pick the rarest bucket.
-                    best = min(all_values, key=lambda v: len(index.find(v)))
-                    return sorted(index.find(best)), f"hash_index:{field_path}"
-            # 3. geo index
-            for field_path, index in self._geo_indexes.items():
-                shape = extract_geo(query, field_path)
-                if shape is not None:
-                    return sorted(index.candidates(shape)), f"geo_index:{field_path}"
-        return list(self._docs.keys()), "scan"
+    def _plan_candidates(self, query: Mapping[str, Any],
+                         *, hint: "str | None" = None,
+                         ) -> tuple[list[int], str]:
+        """Choose an access path; returns (candidate doc ids, plan name).
 
-    def find(self, query: "Mapping[str, Any] | None" = None, *,
-             projection: "list[str] | None" = None,
-             sort: "str | None" = None, descending: bool = False,
-             limit: "int | None" = None, skip: int = 0) -> FindResult:
-        """Run a query and return matching documents (as copies).
-
-        ``projection`` keeps only the listed top-level fields; ``sort`` is a
-        dotted field path; ``limit``/``skip`` paginate after sorting.
+        All applicable condition sources — posting arrays, date columns,
+        geohash buckets — are intersected; the candidates are a superset of
+        the exact answer, in ascending doc-id order on every path, so the
+        caller's verification loop produces plan-independent results.
+        ``hint="scan"`` forces the sequential path.
         """
+        if hint is not None and hint != "scan":
+            raise StoreError(f"unknown plan hint {hint!r}; expected 'scan'")
+        if not query or hint == "scan":
+            return sorted(self._docs.keys()), "scan"
+        # Unique-index equality short-circuits: the candidate set is at most
+        # one doc per pinned value, already minimal.
+        for field_path, index in self._unique_indexes.items():
+            values = extract_equality(query, field_path)
+            if values is not None:
+                ids = sorted({i for i in (index.find(v) for v in values)
+                              if i is not None})
+                return ids, f"unique_index:{field_path}"
+        sources: list[tuple[str, np.ndarray]] = []
+        for field, condition in _iter_field_conditions(query):
+            probe = {field: condition}
+            hash_index = self._hash_indexes.get(field)
+            if hash_index is not None:
+                values = extract_equality(probe, field)
+                if values is not None and _scalar_values(values):
+                    sources.append((f"hash_index:{field}",
+                                    hash_index.postings_any(values)))
+                    continue
+                all_values = extract_all_values(probe, field)
+                if all_values is not None and _scalar_values(all_values):
+                    sources.append((f"hash_index:{field}",
+                                    hash_index.postings_all(all_values)))
+                    continue
+            date_column = self._date_columns.get(field)
+            if date_column is not None:
+                ids = _date_range_ids(date_column, condition)
+                if ids is not None:
+                    sources.append((f"date_column:{field}", ids))
+                    continue
+            geo_index = self._geo_indexes.get(field)
+            if geo_index is not None:
+                shape = extract_geo(probe, field)
+                if shape is not None:
+                    sources.append((f"geo_index:{field}",
+                                    ids_array(geo_index.candidates(shape))))
+        if not sources:
+            return sorted(self._docs.keys()), "scan"
+        tags = list(dict.fromkeys(tag for tag, _ in sources))
+        if len(sources) == 1:
+            candidates = sources[0][1]
+        else:
+            candidates = intersect_id_arrays([ids for _, ids in sources])
+        plan = tags[0] if len(tags) == 1 else "columnar:" + "&".join(tags)
+        return candidates.tolist(), plan
+
+    def _matching_docs(self, query: "Mapping[str, Any] | None",
+                       *, hint: "str | None" = None,
+                       ) -> tuple[list[dict], str, int]:
+        """Plan, verify, and return matching docs as in-place references."""
         query = query or {}
-        candidate_ids, plan = self._plan_candidates(query)
+        candidate_ids, plan = self._plan_candidates(query, hint=hint)
         matched: list[dict] = []
         examined = 0
         for doc_id in candidate_ids:
@@ -285,8 +474,28 @@ class Collection:
             examined += 1
             if matches(doc, query):
                 matched.append(doc)
+        return matched, plan, examined
+
+    def find(self, query: "Mapping[str, Any] | None" = None, *,
+             projection: "list[str] | None" = None,
+             sort: "str | None" = None, descending: bool = False,
+             limit: "int | None" = None, skip: int = 0,
+             hint: "str | None" = None) -> FindResult:
+        """Run a query and return matching documents (as copies).
+
+        ``projection`` keeps only the listed top-level fields; ``sort`` is a
+        dotted field path; ``limit``/``skip`` paginate after sorting;
+        ``hint="scan"`` bypasses the planner.  Only the final post-skip/limit
+        page is deep-copied, and each document's sort key is extracted
+        exactly once (decorate-sort), not per comparison.
+        """
+        matched, plan, examined = self._matching_docs(query, hint=hint)
         if sort is not None:
-            matched.sort(key=lambda d: _sort_key(get_path(d, sort)), reverse=descending)
+            keys = [_sort_key(get_path(doc, sort)) for doc in matched]
+            order = sorted(range(len(matched)), key=keys.__getitem__,
+                           reverse=descending)
+            matched = [matched[i] for i in order]
+        total = len(matched)
         if skip:
             matched = matched[skip:]
         if limit is not None:
@@ -297,19 +506,38 @@ class Collection:
                 out.append(copy.deepcopy(doc))
             else:
                 out.append({k: copy.deepcopy(doc[k]) for k in projection if k in doc})
-        return FindResult(documents=out, plan=plan, candidates_examined=examined)
+        return FindResult(documents=out, plan=plan,
+                          candidates_examined=examined, total_matches=total)
 
     def find_one(self, query: "Mapping[str, Any] | None" = None) -> "dict | None":
         """First matching document, or ``None``."""
         result = self.find(query, limit=1)
         return result.documents[0] if result.documents else None
 
+    def field_values(self, query: "Mapping[str, Any] | None",
+                     field_path: str) -> list[Any]:
+        """``field_path`` of every matching doc, in candidate order.
+
+        No documents are copied: values are returned by reference, so
+        callers must treat them as read-only.  Missing values are skipped.
+        This is the zero-copy projection behind filtered similarity search
+        (resolving a metadata filter to the allowed patch names).
+        """
+        matched, _, _ = self._matching_docs(query)
+        values = []
+        for doc in matched:
+            value = get_path(doc, field_path)
+            if not is_missing(value):
+                values.append(value)
+        return values
+
     def distinct(self, field_path: str,
                  query: "Mapping[str, Any] | None" = None) -> list[Any]:
         """Sorted distinct values of ``field_path`` over matching documents;
-        array values contribute their elements (multikey semantics)."""
+        array values contribute their elements (multikey semantics).  Works
+        on references — no candidate is copied."""
         values: set[Any] = set()
-        for doc in self.find(query).documents:
+        for doc in self._matching_docs(query)[0]:
             value = get_path(doc, field_path)
             if is_missing(value):
                 continue

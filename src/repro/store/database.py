@@ -72,6 +72,7 @@ class Database:
         metadata.create_index("properties.season")
         metadata.create_index("properties.country")
         metadata.create_index("properties.satellites")
+        metadata.create_date_column("properties.acquisition_date")
         db.create_collection(IMAGE_DATA, primary_key="name")
         db.create_collection(RENDERED_IMAGES, primary_key="name")
         db.create_collection(FEEDBACK)

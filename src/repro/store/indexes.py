@@ -19,10 +19,13 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
+import numpy as np
+
 from ..errors import DuplicateKeyError, GeoError, IndexError_
 from ..geo import geohash as gh
 from ..geo.bbox import BoundingBox
 from ..geo.shapes import Shape
+from .columnar import ids_array, intersect_id_arrays
 from .matcher import get_path, is_missing
 
 
@@ -67,11 +70,19 @@ class UniqueIndex:
 
 
 class HashIndex:
-    """Multikey equality index: value -> set of doc ids."""
+    """Multikey equality index: value -> set of doc ids.
+
+    Doubles as the planner's categorical column: each posting set is also
+    available as a cached *sorted int64 array* (:meth:`posting_array`), so
+    multi-condition plans can AND postings together with vectorized set
+    intersection instead of Python set algebra.  Array caches are
+    invalidated per key on mutation.
+    """
 
     def __init__(self, field: str) -> None:
         self.field = field
         self._by_key: dict[Any, set[int]] = {}
+        self._array_cache: dict[Any, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self._by_key)
@@ -87,12 +98,14 @@ class HashIndex:
     def add(self, doc_id: int, document: Mapping[str, Any]) -> None:
         for key in self._keys_for(document):
             self._by_key.setdefault(key, set()).add(doc_id)
+            self._array_cache.pop(key, None)
 
     def remove(self, doc_id: int, document: Mapping[str, Any]) -> None:
         for key in self._keys_for(document):
             bucket = self._by_key.get(key)
             if bucket is not None:
                 bucket.discard(doc_id)
+                self._array_cache.pop(key, None)
                 if not bucket:
                     del self._by_key[key]
 
@@ -106,6 +119,33 @@ class HashIndex:
         for value in values:
             out |= self.find(value)
         return out
+
+    def posting_array(self, value: Any) -> np.ndarray:
+        """The sorted int64 doc-id array of one posting (cached)."""
+        key = _hashable(value)
+        cached = self._array_cache.get(key)
+        if cached is None:
+            cached = ids_array(self._by_key.get(key, ()))
+            self._array_cache[key] = cached
+        return cached
+
+    def postings_any(self, values: Iterable[Any]) -> np.ndarray:
+        """Sorted unique union of postings (vectorized ``$in``)."""
+        arrays = [self.posting_array(value) for value in values]
+        if not arrays:
+            return np.empty(0, dtype=np.int64)
+        if len(arrays) == 1:
+            return arrays[0]
+        return np.unique(np.concatenate(arrays))
+
+    def postings_all(self, values: Iterable[Any]) -> np.ndarray:
+        """Sorted intersection of postings (vectorized ``$all``): only docs
+        holding *every* value survive — a tighter candidate superset than
+        the single rarest bucket."""
+        arrays = [self.posting_array(value) for value in values]
+        if not arrays:
+            return np.empty(0, dtype=np.int64)
+        return intersect_id_arrays(arrays)
 
 
 class GeoHashIndex:

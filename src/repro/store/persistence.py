@@ -48,6 +48,7 @@ def _index_spec(collection: Collection) -> dict:
         "hash": list(collection._hash_indexes),
         "geo": {field: index.precision
                 for field, index in collection._geo_indexes.items()},
+        "date_columns": list(collection._date_columns),
     }
 
 
@@ -91,6 +92,8 @@ def load_database(path: "str | os.PathLike") -> Database:
             collection.create_index(field)
         for field, precision in spec.get("geo", {}).items():
             collection.create_geo_index(field, precision=precision)
-        for doc in payload["documents"]:
-            collection.insert_one(_decode_value(doc))
+        for field in spec.get("date_columns", []):
+            collection.create_date_column(field)
+        documents = [_decode_value(doc) for doc in payload["documents"]]
+        collection.insert_many(documents)
     return db
