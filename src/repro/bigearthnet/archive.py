@@ -146,6 +146,18 @@ class SyntheticArchive:
         except KeyError:
             raise UnknownPatchError(f"no patch named {name!r} in archive") from None
 
+    def remove(self, name: str) -> int:
+        """Drop a patch from the archive; returns its former dense index.
+
+        Later patches shift down by one, so any structure aligned with
+        dense indices (e.g. a feature matrix) must drop the same row.
+        """
+        position = self.index_of(name)
+        self.patches.pop(position)
+        del self._by_name[name]
+        self._index_by_name = {p.name: i for i, p in enumerate(self.patches)}
+        return position
+
     # ------------------------------------------------------------------ #
     # Ground truth
     # ------------------------------------------------------------------ #

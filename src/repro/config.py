@@ -148,6 +148,13 @@ class IndexConfig:
     mih_tables: int = 4
     prefilter_max_selectivity: float = 0.1
     postfilter_overfetch: float = 2.0
+    # Mutable-corpus lifecycle: a deleted/updated image tombstones its index
+    # row (O(1), excluded from every search via the alive mask); once the
+    # dead rows exceed max(compact_min_dead, compact_max_dead_fraction * N)
+    # the row-aligned structures are compacted — dead rows physically
+    # dropped, rows renumbered — in one coordinated rebuild.
+    compact_min_dead: int = 64
+    compact_max_dead_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         _require(self.hamming_radius >= 0, "hamming_radius must be >= 0")
@@ -156,6 +163,9 @@ class IndexConfig:
                  "prefilter_max_selectivity must be in [0, 1]")
         _require(self.postfilter_overfetch >= 1.0,
                  "postfilter_overfetch must be >= 1")
+        _require(self.compact_min_dead >= 1, "compact_min_dead must be >= 1")
+        _require(0.0 < self.compact_max_dead_fraction <= 1.0,
+                 "compact_max_dead_fraction must be in (0, 1]")
 
 
 @dataclass(frozen=True)

@@ -256,6 +256,26 @@ class EarthQubeAPI:
             payload["federation"] = meta.as_dict()
         return payload
 
+    def delete_image(self, name: str) -> dict:
+        """DELETE /images/<name> — remove an image from the live archive.
+
+        Removes the store documents and the retrieval code in one step, so
+        the image immediately stops appearing in search, similarity (all
+        paths), statistics, and rendering.  Under federation the name may
+        be namespaced (``node/patch_name``); a bare name resolves to the
+        first node that indexes it, and the response names the owning node.
+        """
+        try:
+            if not isinstance(name, str) or not name:
+                raise ValidationError("delete_image needs a non-empty name")
+            if self.federation is not None:
+                summary = self.federation.delete_image(name)
+            else:
+                summary = self._require_system().delete_image(name)
+        except ReproError as exc:
+            return self._error(exc)
+        return {"ok": True, "deleted": True, **summary}
+
     def statistics(self, request: Mapping[str, Any]) -> dict:
         """POST /statistics — label statistics for a list of names."""
         try:

@@ -36,6 +36,7 @@ from ..config import IndexConfig
 from ..core.hasher import MiLaNHasher
 from ..errors import UnknownPatchError, ValidationError
 from ..features.extractor import FeatureExtractor
+from ..index.hamming import TombstoneSet
 from ..index.mih import MultiIndexHashing
 from ..index.results import SearchResult
 from .query import QuerySpec
@@ -128,6 +129,10 @@ class CBIRService:
         self._codes: np.ndarray = np.empty((0, words), dtype=np.uint64)
         self._pending: list[np.ndarray] = []
         self._row_by_name: dict[str, int] = {}
+        # Tombstoned rows (deleted/superseded images): still present in the
+        # row-aligned store so filters stay row-stable, but dead in the
+        # index and dropped by compact().
+        self._tombstones = TombstoneSet()
         # Optional QuerySpec -> RowFilter resolver, attached by the system
         # facade so `filter=QuerySpec(...)` works at this level too.
         self.spec_resolver = None
@@ -148,6 +153,7 @@ class CBIRService:
         self._row_by_name = {name: i for i, name in enumerate(names)}
         self._codes = codes
         self._pending = []
+        self._tombstones.clear()
         self._index.build(list(names), codes)
 
     def code_of(self, name: str) -> np.ndarray:
@@ -172,7 +178,16 @@ class CBIRService:
         not a copy): after pending online adds are folded in — one vstack
         amortized over all adds since the last snapshot — this is O(1) in
         archive size, where re-stacking N stored codes per call was O(N).
+
+        The snapshot is **canonical**: if any rows are tombstoned the
+        service compacts first, so the returned rows are exactly the
+        surviving corpus and align with every mask :meth:`make_filter`
+        hands out afterwards.  A serving tier built earlier must be
+        rebuilt/compacted in the same step (see
+        :meth:`~repro.earthqube.server.EarthQube.compact_index`).
         """
+        if len(self._tombstones):
+            self.compact()
         if self._pending:
             self._codes = np.vstack([self._codes, np.stack(self._pending)])
             self._pending = []
@@ -198,6 +213,86 @@ class CBIRService:
         self._pending.append(code)
         self._index.add(name, code)
         return code
+
+    # ------------------------------------------------------------------ #
+    # Deletion / update lifecycle
+    # ------------------------------------------------------------------ #
+
+    def remove_image(self, name: str) -> np.ndarray:
+        """Remove one image from the archive index (tombstone, O(1)).
+
+        The image stops appearing in every query path immediately; its row
+        is physically dropped at the next :meth:`compact`.  Returns the
+        packed code that was removed.
+        """
+        code = self._code_by_name.pop(name, None)
+        if code is None:
+            raise UnknownPatchError(f"no indexed image named {name!r}")
+        self._tombstones.mark(self._row_by_name.pop(name))
+        self._index.remove(name)
+        return code
+
+    def update_image(self, name: str, features: np.ndarray) -> np.ndarray:
+        """Re-embed an existing image (e.g. a reprocessed acquisition).
+
+        The old code is tombstoned and the new one appended under the same
+        name, so the image re-enters the insertion order at the end —
+        exactly as if it had been deleted and re-ingested.  Returns the
+        new packed code.
+        """
+        if name not in self._code_by_name:
+            raise UnknownPatchError(f"no indexed image named {name!r}")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 1:
+            raise ValidationError(f"features must be 1D, got shape {features.shape}")
+        # Hash before mutating anything: a bad feature vector must leave
+        # the old embedding fully intact.
+        code = self.hasher.hash_packed(features[None, :])[0]
+        self._tombstones.mark(self._row_by_name.pop(name))
+        self._index.remove(name)
+        self._code_by_name[name] = code
+        self._row_by_name[name] = len(self._names)
+        self._names.append(name)
+        self._pending.append(code)
+        self._index.add(name, code)
+        return code
+
+    @property
+    def dead_rows(self) -> int:
+        """Tombstoned rows awaiting compaction."""
+        return len(self._tombstones)
+
+    def compaction_due(self) -> bool:
+        """Have dead rows crossed the configured compaction threshold?"""
+        return self._tombstones.due(len(self._names),
+                                    self.config.compact_min_dead,
+                                    self.config.compact_max_dead_fraction)
+
+    def compact(self) -> None:
+        """Physically drop tombstoned rows and rebuild the index.
+
+        Surviving rows keep their relative order, so every query result is
+        byte-identical before and after.  Rows are renumbered: previously
+        issued :class:`RowFilter` masks are stale after this call — the
+        serving tier must be compacted in the same step
+        (:meth:`~repro.earthqube.server.EarthQube.compact_index`).
+        """
+        if not len(self._tombstones):
+            return
+        if self._pending:
+            self._codes = np.vstack([self._codes, np.stack(self._pending)])
+            self._pending = []
+        keep = np.flatnonzero(self._tombstones.alive_mask(len(self._names)))
+        self._names = [self._names[int(row)] for row in keep]
+        self._codes = self._codes[keep]
+        self._row_by_name = {name: i for i, name in enumerate(self._names)}
+        # Re-point the name->code map at the compacted matrix: the old
+        # entries are views into the pre-compact matrix and would pin the
+        # dead rows' memory for as long as any name is held.
+        self._code_by_name = {name: self._codes[i]
+                              for i, name in enumerate(self._names)}
+        self._tombstones.clear()
+        self._index.build(list(self._names), self._codes)
 
     # ------------------------------------------------------------------ #
     # Filters

@@ -25,7 +25,7 @@ from ..config import EarthQubeConfig, ServingConfig
 from ..core.hasher import MiLaNHasher
 from ..errors import UnknownPatchError, ValidationError
 from ..features.extractor import FeatureExtractor
-from ..store.database import Database, METADATA, RENDERED_IMAGES
+from ..store.database import Database, IMAGE_DATA, METADATA, RENDERED_IMAGES
 from .cart import DownloadCart
 from .cbir import CBIRService, SimilarityResponse
 from .feedback import FeedbackService
@@ -329,6 +329,90 @@ class EarthQube:
                 "auto_labeled": auto_labeled}
 
     # ------------------------------------------------------------------ #
+    # Deletion / update lifecycle (the mutable-corpus workload)
+    # ------------------------------------------------------------------ #
+
+    def delete_image(self, name: str) -> dict:
+        """Remove an image from the *whole* live system.
+
+        One call removes the store documents (metadata, image data,
+        rendering) *and* the retrieval code: after it returns, the image is
+        gone from every query path — metadata search, similarity search
+        (direct, serving-tier, and federated), statistics, rendering — and
+        a persisted snapshot no longer contains it.  The pair is atomic:
+        existence is validated before either side mutates, and neither
+        removal can fail afterwards, so the store and the index can never
+        disagree about the image.
+
+        The index row is tombstoned (O(1)); once dead rows cross the
+        configured threshold the row-aligned structures are compacted in
+        one coordinated step (service + serving tier together).  The
+        archive/features bookkeeping (training-side artifacts, not serving
+        state) is O(N) per delete — acceptable because no query path
+        touches it; only re-training iterates those rows.  Returns a
+        summary dict (name, documents deleted, whether compaction ran).
+        """
+        if not self.cbir.has(name):
+            raise UnknownPatchError(f"no indexed image named {name!r}")
+        documents_deleted = self.db[METADATA].delete_one({"name": name})
+        for collection_name in (IMAGE_DATA, RENDERED_IMAGES):
+            if collection_name in self.db:
+                documents_deleted += self.db[collection_name].delete_one(
+                    {"name": name})
+        self.cbir.remove_image(name)
+        if self.gateway is not None:
+            self.gateway.on_delete(name)
+        if name in self.archive:
+            position = self.archive.remove(name)
+            if position < self.features.shape[0]:
+                self.features = np.delete(self.features, position, axis=0)
+        compacted = self.maybe_compact_index()
+        return {"name": name, "documents_deleted": documents_deleted,
+                "compacted": compacted}
+
+    def update_image(self, name: str, features: np.ndarray) -> dict:
+        """Re-embed an existing image from new features (reprocessed or
+        corrected acquisition).
+
+        The old code is tombstoned and the new one indexed under the same
+        name — the image re-enters the insertion order at the end, exactly
+        as if deleted and re-ingested — and the serving tier mirrors the
+        swap.  Metadata documents are untouched (use the store's
+        ``update_one`` for those).
+        """
+        if not self.cbir.has(name):
+            raise UnknownPatchError(f"no indexed image named {name!r}")
+        features = np.asarray(features, dtype=np.float64)
+        code = self.cbir.update_image(name, features)
+        if self.gateway is not None:
+            self.gateway.on_update(name, code)
+        if name in self.archive:
+            position = self.archive.index_of(name)
+            if (position < self.features.shape[0]
+                    and self.features.shape[1] == features.shape[0]):
+                self.features[position] = features
+        compacted = self.maybe_compact_index()
+        return {"name": name, "compacted": compacted}
+
+    def compact_index(self) -> None:
+        """Compact the retrieval tier now: drop tombstoned rows everywhere.
+
+        The CBIR service and the serving tier renumber their rows in one
+        coordinated step, so row-aligned filter masks never cross a layout
+        boundary.  Query results are byte-identical before and after.
+        """
+        self.cbir.compact()
+        if self.gateway is not None:
+            self.gateway.on_compact()
+
+    def maybe_compact_index(self) -> bool:
+        """Run :meth:`compact_index` if the dead-row threshold is crossed."""
+        if self.cbir.compaction_due():
+            self.compact_index()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
@@ -336,6 +420,8 @@ class EarthQube:
         """System summary (sizes, code length, index settings)."""
         summary = {
             "archive_patches": len(self.archive),
+            "indexed_images": len(self.cbir),
+            "index_dead_rows": self.cbir.dead_rows,
             "feature_dimension": self.extractor.dimension,
             "code_bits": self.hasher.num_bits,
             "hamming_radius": self.config.index.hamming_radius,

@@ -260,6 +260,19 @@ class FederatedEarthQube:
             responses.append(shape_name_response(query_id, merged, used, k))
         return FederatedResponse(responses, meta)
 
+    def delete_image(self, name: str) -> dict:
+        """Delete a federated image at its owning node.
+
+        A point operation, not a scatter: the (unique) owner resolved by
+        :meth:`resolve_image` removes the image from its own store and
+        index; every later federated query simply no longer sees it.
+        Returns the owner's deletion summary with the node name attached.
+        """
+        self._require_nodes()
+        owner, bare = self.resolve_image(name)
+        summary = owner.delete_image(bare)
+        return {"node": owner.name, **summary}
+
     def statistics_for(self, names: "list[str]") -> FederatedResponse:
         """Label statistics over federated names, summed across archives."""
         self._require_nodes()

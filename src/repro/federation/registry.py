@@ -138,6 +138,10 @@ class FederatedNode:
         """The node's configured Hamming radius (the no-k-no-radius default)."""
         return self.system.config.index.hamming_radius
 
+    def delete_image(self, name: str) -> dict:
+        """Delete one of this archive's images (store + index together)."""
+        return self.system.delete_image(name)
+
     def __repr__(self) -> str:
         return f"FederatedNode({self.name!r}, corpus={len(self.system.cbir)})"
 

@@ -87,6 +87,86 @@ def allowed_row_indices(allowed: np.ndarray, num_rows: int) -> np.ndarray:
     return np.flatnonzero(as_allowed_mask(allowed)[:num_rows])
 
 
+def combine_allowed_masks(first: "np.ndarray | None",
+                          second: "np.ndarray | None") -> "np.ndarray | None":
+    """AND-combine two optional allowed-row masks.
+
+    ``None`` means "everything allowed" on that side.  Because rows at or
+    beyond a mask's length are disallowed, the combination is the AND of
+    the overlapping prefix truncated to the shorter mask — which is how
+    tombstone (alive-row) masks fold into query filters: a row survives
+    only if it is both alive and filter-allowed.
+    """
+    if first is None:
+        return second
+    if second is None:
+        return first
+    first = as_allowed_mask(first)
+    second = as_allowed_mask(second)
+    overlap = min(first.shape[0], second.shape[0])
+    return first[:overlap] & second[:overlap]
+
+
+# Default standalone compaction policy: compact once dead rows exceed
+# max(DEAD_ROWS_MIN, DEAD_ROWS_FRACTION * rows).  Embedding services
+# (CBIRService) override this with their configured thresholds.
+DEAD_ROWS_MIN = 64
+DEAD_ROWS_FRACTION = 0.25
+
+
+class TombstoneSet:
+    """Dead-row bookkeeping shared by every tombstoning index.
+
+    Holds the set of tombstoned rows and lazily materializes the alive
+    mask over ``num_rows`` physical rows (rebuilt — never mutated in
+    place — after a removal or a row-count change, so a mask captured by
+    an in-flight scan is immutable).  Not thread-safe: callers that share
+    an index across threads must serialize access themselves.
+    """
+
+    __slots__ = ("dead", "_cache")
+
+    def __init__(self) -> None:
+        self.dead: set[int] = set()
+        self._cache: "np.ndarray | None" = None
+
+    def __len__(self) -> int:
+        return len(self.dead)
+
+    def __contains__(self, row: int) -> bool:
+        return row in self.dead
+
+    def mark(self, row: int) -> None:
+        self.dead.add(row)
+        self._cache = None
+
+    def clear(self) -> None:
+        self.dead = set()
+        self._cache = None
+
+    def alive_mask(self, num_rows: int) -> "np.ndarray | None":
+        """The alive-row mask, or ``None`` when nothing is tombstoned."""
+        if not self.dead:
+            return None
+        if self._cache is None or self._cache.shape[0] != num_rows:
+            mask = np.ones(num_rows, dtype=bool)
+            mask[np.fromiter(self.dead, dtype=np.int64,
+                             count=len(self.dead))] = False
+            self._cache = mask
+        return self._cache
+
+    def fraction(self, num_rows: int) -> float:
+        """Dead rows as a fraction of physical rows (0 when empty)."""
+        return len(self.dead) / num_rows if num_rows else 0.0
+
+    def due(self, num_rows: int, min_dead: int = DEAD_ROWS_MIN,
+            max_fraction: float = DEAD_ROWS_FRACTION) -> bool:
+        """Have dead rows crossed the compaction threshold?"""
+        dead = len(self.dead)
+        return dead > 0 and dead >= max(min_dead,
+                                        int(num_rows * max_fraction))
+
+
 def top_k_smallest(distances: np.ndarray, k: int) -> np.ndarray:
     """Indices of the ``k`` smallest distances, ties broken by index.
 

@@ -9,6 +9,13 @@ Every search accepts an optional ``allowed`` row mask (filtered-similarity
 pushdown): selection is restricted to allowed insertion rows with the same
 (distance, row) order, byte-identical to ranking everything and dropping
 disallowed rows afterwards.
+
+Deletion uses the same machinery: :meth:`LinearScanIndex.remove` tombstones
+a row, the alive mask AND-combines with any query filter, and
+:meth:`LinearScanIndex.compact` physically drops the dead rows once they
+pile up.  Because tombstoning preserves the relative order of surviving
+rows, results are byte-identical to an index rebuilt from scratch on the
+surviving corpus, before and after compaction.
 """
 
 from __future__ import annotations
@@ -19,8 +26,10 @@ import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
 from .hamming import (
+    TombstoneSet,
     allowed_row_indices,
     as_allowed_mask,
+    combine_allowed_masks,
     hamming_distances_to_query,
     pairwise_hamming,
     top_k_smallest,
@@ -41,9 +50,23 @@ class LinearScanIndex:
         self.num_bits = num_bits
         self._codes: "np.ndarray | None" = None
         self._ids: list[Hashable] = []
+        self._pending: list[np.ndarray] = []
+        self._tombstones = TombstoneSet()
+        self._row_of: "dict[Hashable, int] | None" = None
 
     def __len__(self) -> int:
-        return len(self._ids)
+        """Searchable (alive) items."""
+        return len(self._ids) - len(self._tombstones)
+
+    @property
+    def dead_count(self) -> int:
+        """Tombstoned rows awaiting compaction."""
+        return len(self._tombstones)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Dead rows as a fraction of physical rows (0 when empty)."""
+        return self._tombstones.fraction(len(self._ids))
 
     def build(self, item_ids: Iterable[Hashable], codes: np.ndarray) -> None:
         """(Re)build from aligned ids and (N, W) packed codes."""
@@ -54,10 +77,78 @@ class LinearScanIndex:
                 f"need (N, W) codes aligned with N ids, got {codes.shape} and {len(ids)} ids")
         self._codes = codes
         self._ids = ids
+        self._pending = []
+        self._tombstones.clear()
+        self._row_of = None
+
+    def add(self, item_id: Hashable, code: np.ndarray) -> None:
+        """Append one item online; buffered codes fold in at the next scan."""
+        code = np.asarray(code, dtype=np.uint64)
+        if code.ndim != 1:
+            raise ValidationError(f"add expects a single packed code, got {code.shape}")
+        words = (self._codes.shape[1] if self._codes is not None
+                 else -(-self.num_bits // 64))
+        if code.shape[0] != words:
+            raise ValidationError(
+                f"packed code has {code.shape[0]} words, index stores {words}")
+        if self._codes is None:
+            self._codes = np.empty((0, code.shape[0]), dtype=np.uint64)
+        if self._row_of is not None:
+            self._row_of[item_id] = len(self._ids)
+        self._ids.append(item_id)
+        self._pending.append(code)
+
+    # ------------------------------------------------------------------ #
+    # Deletion lifecycle: tombstones + compaction
+    # ------------------------------------------------------------------ #
+
+    def remove(self, item_id: Hashable) -> None:
+        """Tombstone one item: O(1), excluded from every later search.
+
+        The row keeps its number (masks snapshotted by callers stay
+        aligned) until :meth:`compact` physically drops dead rows.
+        """
+        if self._row_of is None:
+            self._row_of = {item_id: row
+                            for row, item_id in enumerate(self._ids)}
+        row = self._row_of.pop(item_id, None)
+        if row is None or row in self._tombstones:
+            raise ValidationError(f"no indexed item {item_id!r} to remove")
+        self._tombstones.mark(row)
+
+    def compact_due(self) -> bool:
+        """Default policy: dead rows exceed the standalone threshold."""
+        return self._tombstones.due(len(self._ids))
+
+    def compact(self) -> None:
+        """Drop dead rows and renumber; results stay byte-identical.
+
+        Surviving rows keep their relative order, so the canonical
+        (distance, insertion row) tie-break is unchanged.  Callers holding
+        row-aligned masks must refresh them after compaction.
+        """
+        if not len(self._tombstones):
+            return
+        if self._pending:
+            self._codes = np.vstack([self._codes, np.stack(self._pending)])
+            self._pending = []
+        alive = np.flatnonzero(self._tombstones.alive_mask(len(self._ids)))
+        self._codes = self._codes[alive]
+        self._ids = [self._ids[int(row)] for row in alive]
+        self._tombstones.clear()
+        self._row_of = None
+
+    def _effective_allowed(self, allowed: "np.ndarray | None",
+                           ) -> "np.ndarray | None":
+        return combine_allowed_masks(
+            self._tombstones.alive_mask(len(self._ids)), allowed)
 
     def _require_built(self) -> np.ndarray:
-        if self._codes is None or not self._ids:
+        if self._codes is None or not self._ids or len(self) == 0:
             raise EmptyIndexError("search on an empty LinearScanIndex")
+        if self._pending:
+            self._codes = np.vstack([self._codes, np.stack(self._pending)])
+            self._pending = []
         return self._codes
 
     def _allowed_rows(self, allowed: np.ndarray) -> np.ndarray:
@@ -77,6 +168,7 @@ class LinearScanIndex:
             raise ValidationError(f"radius must be >= 0, got {radius}")
         codes = self._require_built()
         query = np.asarray(code, dtype=np.uint64)
+        allowed = self._effective_allowed(allowed)
         if allowed is None:
             distances = hamming_distances_to_query(codes, query)
             within = np.flatnonzero(distances <= radius)
@@ -99,6 +191,7 @@ class LinearScanIndex:
             raise ValidationError(f"k must be positive, got {k}")
         codes = self._require_built()
         query = np.asarray(code, dtype=np.uint64)
+        allowed = self._effective_allowed(allowed)
         if allowed is None:
             distances = hamming_distances_to_query(codes, query)
             rows = top_k_smallest(distances, k)
@@ -139,6 +232,7 @@ class LinearScanIndex:
         """
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
+        allowed = self._effective_allowed(allowed)
         rows0 = (None if allowed is None
                  else self._allowed_rows(as_allowed_mask(allowed)))
         distances = self._batch_distances(codes, rows0)
@@ -160,6 +254,7 @@ class LinearScanIndex:
         """Radius search for a ``(Q, W)`` batch of packed queries."""
         if radius < 0:
             raise ValidationError(f"radius must be >= 0, got {radius}")
+        allowed = self._effective_allowed(allowed)
         rows0 = (None if allowed is None
                  else self._allowed_rows(as_allowed_mask(allowed)))
         distances = self._batch_distances(codes, rows0)

@@ -70,7 +70,7 @@ import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
 from .codes import WORD_BITS
-from .hamming import as_allowed_mask
+from .hamming import TombstoneSet, as_allowed_mask, combine_allowed_masks
 from .results import RadiusSearchStats, SearchResult
 
 # Flip-mask sets depend only on (substring width, substring radius); they
@@ -260,9 +260,25 @@ class MultiIndexHashing:
         self._codes: "np.ndarray | None" = None  # (N, W) packed, for verification
         self._pending: list[np.ndarray] = []
         self._ids: list[Hashable] = []
+        # Mutable-corpus lifecycle: tombstoned rows stay in the tables and
+        # the verification matrix but are masked out of every search (the
+        # alive mask AND-combines with query filters) until compaction.
+        self._tombstones = TombstoneSet()
+        self._row_of: "dict[Hashable, int] | None" = None
 
     def __len__(self) -> int:
-        return len(self._ids)
+        """Searchable (alive) items."""
+        return len(self._ids) - len(self._tombstones)
+
+    @property
+    def dead_count(self) -> int:
+        """Tombstoned rows awaiting compaction."""
+        return len(self._tombstones)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Dead rows as a fraction of physical rows (0 when empty)."""
+        return self._tombstones.fraction(len(self._ids))
 
     @property
     def substring_spans(self) -> list[tuple[int, int]]:
@@ -280,6 +296,8 @@ class MultiIndexHashing:
         self._codes = codes
         self._pending = []
         self._ids = ids
+        self._tombstones.clear()
+        self._row_of = None
         self._tables = [_CSRTable() for _ in range(self.num_tables)]
         for table, (start, stop) in zip(self._tables, self._spans):
             table.rebuild(_substring_keys(codes, start, stop))
@@ -302,11 +320,53 @@ class MultiIndexHashing:
             self._pending = []
         row = len(self._ids)
         self._ids.append(item_id)
+        if self._row_of is not None:
+            self._row_of[item_id] = row
         self._pending.append(code)
         for table, (start, stop) in zip(self._tables, self._spans):
             table.add(int(_substring_keys(code[None, :], start, stop)[0]), row)
             if table.compact_due():
                 table.compact()
+
+    # ------------------------------------------------------------------ #
+    # Deletion lifecycle: tombstones + compaction
+    # ------------------------------------------------------------------ #
+
+    def remove(self, item_id: Hashable) -> None:
+        """Tombstone one item: O(1), excluded from every later search.
+
+        The substring tables keep the dead row (its buckets are probed but
+        the alive mask drops it before verification); :meth:`compact`
+        rebuilds the tables without it once dead rows pile up.
+        """
+        if self._row_of is None:
+            self._row_of = {item_id: row
+                            for row, item_id in enumerate(self._ids)}
+        row = self._row_of.pop(item_id, None)
+        if row is None or row in self._tombstones:
+            raise ValidationError(f"no indexed item {item_id!r} to remove")
+        self._tombstones.mark(row)
+
+    def compact_due(self) -> bool:
+        """Default policy: dead rows exceed the standalone threshold."""
+        return self._tombstones.due(len(self._ids))
+
+    def compact(self) -> None:
+        """Rebuild without the dead rows; results stay byte-identical.
+
+        Surviving rows keep their relative order, so the canonical
+        (distance, insertion row) tie-break is unchanged.  Callers holding
+        row-aligned masks must refresh them after compaction.
+        """
+        if not len(self._tombstones):
+            return
+        codes = self._materialize()
+        alive = np.flatnonzero(self._tombstones.alive_mask(len(self._ids)))
+        self.build([self._ids[int(row)] for row in alive], codes[alive])
+
+    def _alive_allowed(self) -> "np.ndarray | None":
+        """The alive-row mask, or ``None`` when nothing is tombstoned."""
+        return self._tombstones.alive_mask(len(self._ids))
 
     def _materialize(self) -> np.ndarray:
         """Fold buffered codes into the verification matrix."""
@@ -490,7 +550,7 @@ class MultiIndexHashing:
                 f"num_bits={self.num_bits} incompatible with {words} words")
 
     def _validate_batch(self, codes: np.ndarray) -> np.ndarray:
-        if self._codes is None or not self._ids:
+        if self._codes is None or not self._ids or len(self) == 0:
             raise EmptyIndexError("search on an empty MultiIndexHashing index")
         queries = np.asarray(codes, dtype=np.uint64)
         if queries.ndim != 2:
@@ -648,6 +708,7 @@ class MultiIndexHashing:
         queries = self._validate_batch(codes)
         if allowed is not None:
             allowed = as_allowed_mask(allowed)
+        allowed = combine_allowed_masks(self._alive_allowed(), allowed)
         num_queries = queries.shape[0]
         rows, distances, bounds, probes, candidate_counts = \
             self._radius_arrays(queries, radius, allowed)
@@ -705,6 +766,7 @@ class MultiIndexHashing:
         queries = self._validate_batch(codes)
         if allowed is not None:
             allowed = as_allowed_mask(allowed)
+        allowed = combine_allowed_masks(self._alive_allowed(), allowed)
         archive_codes = self._materialize()
         limit = max_radius if max_radius is not None else self.num_bits
         num_queries = queries.shape[0]

@@ -452,17 +452,64 @@ class ServingGateway:
     def on_ingest(self, name: str, code: np.ndarray) -> None:
         """Archive grew: index the new code, drop every cached result."""
         self.index.add(name, code)
+        self._invalidate("ingest")
+        self.metrics.counter("ingest.items").increment()
+        self._update_occupancy()
+
+    def on_delete(self, name: str) -> None:
+        """Archive shrank: tombstone the code, drop every cached result.
+
+        Cached entries include the memoized ``RowFilter`` masks of metadata
+        filters — they are row-aligned snapshots of the (now mutated)
+        corpus, so they are invalidated together with the query results,
+        and the generation bump stops any in-flight scan from re-inserting
+        either.
+        """
+        self.index.remove(name)
+        self._invalidate("delete")
+        self.metrics.counter("delete.items").increment()
+        self._update_occupancy()
+
+    def on_update(self, name: str, code: np.ndarray) -> None:
+        """An image was re-embedded: tombstone the old code, append the new.
+
+        Mirrors :meth:`CBIRService.update_image` exactly (remove + re-add
+        under the same name) so the gateway's global rows stay aligned with
+        the service's insertion order.
+        """
+        self.index.remove(name)
+        self.index.add(name, code)
+        self._invalidate("update")
+        self.metrics.counter("update.items").increment()
+        self._update_occupancy()
+
+    def on_compact(self) -> None:
+        """The service compacted: rebuild the shards on the new row layout.
+
+        Row numbers changed, so the sharded index is rebuilt from the
+        service's canonical snapshot and every cached result/mask (all
+        row-aligned) is dropped.
+        """
+        names, codes = self.system.cbir.indexed_items()
+        self.index.build(names, codes)
+        self._invalidate("compact")
+        self.metrics.counter("compact.runs").increment()
+        self._update_occupancy()
+
+    def _invalidate(self, reason: str) -> None:
+        """Bump the generation and drop every cached entry (see on_ingest:
+        a result computed against an older generation is never re-cached)."""
         with self._generation_lock:
             self._generation += 1
         dropped = self.cache.invalidate()
-        self.metrics.counter("ingest.items").increment()
-        self.metrics.counter("ingest.cache_dropped").increment(dropped)
-        self._update_occupancy()
+        self.metrics.counter(f"{reason}.cache_dropped").increment(dropped)
 
     def _update_occupancy(self) -> None:
         for i, size in enumerate(self.index.shard_sizes):
             self.metrics.gauge(f"shard.{i}.items").set(size)
         self.metrics.gauge("cache.entries").set(len(self.cache))
+        self.metrics.gauge("index.alive").set(len(self.index))
+        self.metrics.gauge("index.dead_rows").set(self.index.dead_count)
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle

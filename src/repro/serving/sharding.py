@@ -26,13 +26,19 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
-from ..index.hamming import as_allowed_mask, pairwise_hamming, top_k_smallest
+from ..index.hamming import (
+    TombstoneSet,
+    as_allowed_mask,
+    combine_allowed_masks,
+    pairwise_hamming,
+    top_k_smallest,
+)
 from ..index.mih import MultiIndexHashing
 from ..index.results import SearchResult
 
@@ -104,6 +110,11 @@ class _LinearShard:
         """Fold pending codes in (called under the index lock, so scans
         running on pool threads never mutate shard state)."""
         self._materialize()
+
+    def snapshot(self) -> "tuple[np.ndarray, np.ndarray | None]":
+        """Aligned ``(global rows, codes)`` of this shard (for compaction)."""
+        codes = self._materialize()
+        return np.asarray(self._rows, dtype=np.int64), codes
 
     def scan(self, queries: np.ndarray, jobs: Sequence[CodeQuery],
              chunk_rows: int) -> "list[tuple[np.ndarray, np.ndarray]]":
@@ -204,6 +215,12 @@ class _MIHShard:
             if len(self._index):
                 self._index._materialize()
 
+    def snapshot(self) -> "tuple[np.ndarray, np.ndarray | None]":
+        """Aligned ``(global rows, codes)`` of this shard (for compaction)."""
+        with self._shard_lock:
+            codes = (self._index._materialize() if len(self._index) else None)
+            return np.asarray(self._global_rows, dtype=np.int64), codes
+
     def scan(self, queries: np.ndarray, jobs: Sequence[CodeQuery],
              chunk_rows: int) -> "list[tuple[np.ndarray, np.ndarray]]":
         empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
@@ -277,6 +294,10 @@ class ShardedHammingIndex:
         self._shards = self._new_shards()
         self._executor: "ThreadPoolExecutor | None" = None
         self._max_workers = max_workers if max_workers is not None else num_shards
+        # Tombstoned global rows: masked out of every scan (the alive mask
+        # AND-combines with query filters) until compact() drops them.
+        self._tombstones = TombstoneSet()
+        self._row_of: "dict[Hashable, int] | None" = None
 
     def _new_shards(self) -> list:
         if self.backend == "linear":
@@ -285,7 +306,21 @@ class ShardedHammingIndex:
                 for _ in range(self.num_shards)]
 
     def __len__(self) -> int:
-        return len(self._ids)
+        """Searchable (alive) items."""
+        with self._lock:
+            return len(self._ids) - len(self._tombstones)
+
+    @property
+    def dead_count(self) -> int:
+        """Tombstoned rows awaiting compaction."""
+        with self._lock:
+            return len(self._tombstones)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Dead rows as a fraction of physical rows (0 when empty)."""
+        with self._lock:
+            return self._tombstones.fraction(len(self._ids))
 
     @property
     def shard_sizes(self) -> list[int]:
@@ -307,6 +342,8 @@ class ShardedHammingIndex:
         with self._lock:
             self._ids = []
             self._shards = self._new_shards()
+            self._tombstones.clear()
+            self._row_of = None
             for item_id, code in zip(ids, codes):
                 self.add(item_id, code)
 
@@ -318,7 +355,58 @@ class ShardedHammingIndex:
         with self._lock:
             row = len(self._ids)
             self._ids.append(item_id)
+            if self._row_of is not None:
+                self._row_of[item_id] = row
             self._shards[row % self.num_shards].add(row, code)
+
+    # ------------------------------------------------------------------ #
+    # Deletion lifecycle: tombstones + per-shard compaction
+    # ------------------------------------------------------------------ #
+
+    def remove(self, item_id: Hashable) -> None:
+        """Tombstone one item: O(1), excluded from every later scan."""
+        with self._lock:
+            if self._row_of is None:
+                self._row_of = {item_id: row
+                                for row, item_id in enumerate(self._ids)}
+            row = self._row_of.pop(item_id, None)
+            if row is None or row in self._tombstones:
+                raise ValidationError(f"no indexed item {item_id!r} to remove")
+            self._tombstones.mark(row)
+
+    def compact_due(self) -> bool:
+        """Default policy: dead rows exceed the standalone threshold."""
+        with self._lock:
+            return self._tombstones.due(len(self._ids))
+
+    def compact(self) -> None:
+        """Rebuild every shard without the dead rows.
+
+        Surviving items keep their relative insertion order, so the global
+        (distance, insertion row) merge order — and therefore every query
+        result — is byte-identical before and after.
+        """
+        with self._lock:
+            if not len(self._tombstones):
+                return
+            row_parts: list[np.ndarray] = []
+            code_parts: list[np.ndarray] = []
+            for shard in self._shards:
+                rows, codes = shard.snapshot()
+                if codes is not None and codes.shape[0]:
+                    row_parts.append(rows[:codes.shape[0]])
+                    code_parts.append(codes)
+            all_rows = np.concatenate(row_parts)
+            all_codes = np.vstack(code_parts)
+            order = np.argsort(all_rows)
+            alive_mask = self._alive_allowed()
+            keep = order[alive_mask[all_rows[order]]]
+            ids = [self._ids[int(row)] for row in all_rows[keep]]
+            self.build(ids, all_codes[keep])
+
+    def _alive_allowed(self) -> "np.ndarray | None":
+        """The alive-row mask (callers must hold the index lock)."""
+        return self._tombstones.alive_mask(len(self._ids))
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -361,10 +449,11 @@ class ShardedHammingIndex:
         if not jobs:
             return []
         with self._lock:
-            if not self._ids:
+            if not self._ids or len(self._tombstones) >= len(self._ids):
                 raise EmptyIndexError("search on an empty ShardedHammingIndex")
             ids = list(self._ids)
             shards = list(self._shards)
+            alive = self._alive_allowed()
             for shard in shards:
                 shard.prepare()
 
@@ -379,6 +468,24 @@ class ShardedHammingIndex:
                 slot_of[key] = len(unique_jobs)
                 unique_jobs.append(job)
             slots.append(slot_of[key])
+
+        if alive is not None:
+            # Fold tombstones into every job's allowed mask.  Combined
+            # masks are memoized per original filter identity so jobs
+            # sharing a filter keep sharing one mask object — the shard
+            # scan groups by that identity and translates it once.
+            combined: dict[object, np.ndarray] = {}
+            folded: list[CodeQuery] = []
+            for job in unique_jobs:
+                part = (None if job.allowed is None
+                        else (job.filter_key if job.filter_key is not None
+                              else id(job.allowed)))
+                mask = combined.get(part)
+                if mask is None:
+                    mask = combine_allowed_masks(alive, job.allowed)
+                    combined[part] = mask
+                folded.append(replace(job, allowed=mask))
+            unique_jobs = folded
 
         queries = np.stack([np.asarray(job.code, dtype=np.uint64)
                             for job in unique_jobs])

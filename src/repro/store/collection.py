@@ -292,11 +292,8 @@ class Collection:
                 seen.add(key)
         for index in self._geo_indexes.values():
             for doc in prepared:
-                box = index._box_for(doc)
-                if box is None:
-                    continue
                 try:
-                    index._cells_for_box(box)
+                    index.check(doc)
                 except Exception:
                     return None
         return prepared
@@ -331,6 +328,12 @@ class Collection:
             if doc is None or not matches(doc, query):
                 continue
             new_doc = self._apply_update(doc, update)
+            # Validate the replacement against every index that can reject
+            # it BEFORE mutating anything: a failing update must leave the
+            # document and all indexes exactly as they were (previously the
+            # document was removed first, so a unique-key collision or a
+            # missing unique field lost it and left indexes half-updated).
+            self._validate_replacement(doc_id, new_doc)
             self._remove(doc_id)
             # Reinsert under the same id to keep external references stable.
             for index in self._unique_indexes.values():
@@ -344,6 +347,22 @@ class Collection:
             self._docs[doc_id] = new_doc
             return 1
         return 0
+
+    def _validate_replacement(self, doc_id: int, new_doc: dict) -> None:
+        """Raise if re-indexing ``new_doc`` under ``doc_id`` would fail.
+
+        Covers every index whose ``add`` can raise: unique indexes (missing
+        field, key collision with a *different* document — the same check
+        ``UniqueIndex.add`` itself commits), hash indexes (unhashable
+        values), and geo indexes (oversized cell covers).  Date columns
+        accept any document.
+        """
+        for index in self._unique_indexes.values():
+            index.check(doc_id, new_doc)
+        for index in self._hash_indexes.values():
+            index.check(new_doc)  # raises on unhashable values
+        for index in self._geo_indexes.values():
+            index.check(new_doc)  # raises on oversized cell covers
 
     @staticmethod
     def _apply_update(doc: dict, update: "Mapping[str, Any] | Callable[[dict], dict]") -> dict:

@@ -48,7 +48,11 @@ class UniqueIndex:
     def __len__(self) -> int:
         return len(self._by_key)
 
-    def add(self, doc_id: int, document: Mapping[str, Any]) -> None:
+    def check(self, doc_id: int, document: Mapping[str, Any]) -> Any:
+        """Validate that indexing ``document`` under ``doc_id`` would
+        succeed; returns the index key.  Raises (missing field, duplicate
+        key) without mutating, so callers can validate before committing —
+        this is the single definition of the uniqueness rules."""
         value = get_path(document, self.field)
         if is_missing(value):
             raise IndexError_(f"document {doc_id} is missing unique field {self.field!r}")
@@ -57,7 +61,10 @@ class UniqueIndex:
         if existing is not None and existing != doc_id:
             raise DuplicateKeyError(
                 f"duplicate value {value!r} for unique field {self.field!r}")
-        self._by_key[key] = doc_id
+        return key
+
+    def add(self, doc_id: int, document: Mapping[str, Any]) -> None:
+        self._by_key[self.check(doc_id, document)] = doc_id
 
     def remove(self, doc_id: int, document: Mapping[str, Any]) -> None:
         key = _hashable(get_path(document, self.field))
@@ -94,6 +101,17 @@ class HashIndex:
         if isinstance(value, (list, tuple)):
             return [_hashable(v) for v in value]
         return [_hashable(value)]
+
+    def check(self, document: Mapping[str, Any]) -> None:
+        """Validate that :meth:`add` would succeed for ``document``.
+
+        Key extraction normalizes lists/dicts, but values like sets (or
+        tuples containing them) survive ``_hashable`` unhashed and only
+        blow up when inserted into the bucket dict — so probe ``hash()``
+        explicitly, without mutating anything.
+        """
+        for key in self._keys_for(document):
+            hash(key)
 
     def add(self, doc_id: int, document: Mapping[str, Any]) -> None:
         for key in self._keys_for(document):
@@ -186,6 +204,13 @@ class GeoHashIndex:
 
     def _cells_for_box(self, box: BoundingBox) -> list[str]:
         return gh.cover_bbox(box, self.precision, max_cells=self.max_cells_per_doc)
+
+    def check(self, document: Mapping[str, Any]) -> None:
+        """Validate that :meth:`add` would succeed for ``document``
+        (oversized cell covers raise) without mutating anything."""
+        box = self._box_for(document)
+        if box is not None:
+            self._cells_for_box(box)
 
     def add(self, doc_id: int, document: Mapping[str, Any]) -> None:
         box = self._box_for(document)

@@ -212,6 +212,79 @@ class TestMutations:
             collection.update_one({"name": "a"}, {"$push": {"x": 1}})
 
 
+class TestUpdateAtomicity:
+    """A failing update_one must leave the document and every index intact.
+
+    Regression: the replacement used to be validated only while re-adding
+    it to the indexes, *after* the document had been removed — a duplicate
+    key on the updated unique field (or a ``$unset`` primary key) lost the
+    document and left the hash/geo indexes half-updated.
+    """
+
+    def test_collide_on_update_keeps_document(self, collection):
+        with pytest.raises(DuplicateKeyError):
+            collection.update_one({"name": "a"}, {"$set": {"name": "b"}})
+        # Document survives, fully findable through every access path.
+        assert collection.count() == 3
+        assert collection.get("a")["properties"]["season"] == "Summer"
+        assert {d["name"] for d in collection.find({"properties.labels": "x"})} == {"a"}
+        assert {d["name"] for d in collection.find({"properties.season": "Summer"})} == {"a", "c"}
+        shape = Rectangle(BoundingBox(west=9.9, south=49.9, east=10.15, north=50.2))
+        assert {d["name"] for d in collection.find(
+            {"location": {"$geoWithin": shape}})} == {"a"}
+
+    def test_unset_primary_key_keeps_document(self, collection):
+        with pytest.raises(IndexError_):
+            collection.update_one({"name": "a"}, {"$unset": {"name": 1}})
+        assert collection.count() == 3
+        assert collection.get("a")["properties"]["labels"] == ["x", "y"]
+        assert {d["name"] for d in collection.find({"properties.labels": "y"})} == {"a", "b"}
+
+    def test_callable_dropping_unique_field_keeps_document(self, collection):
+        def strip_name(doc):
+            del doc["name"]
+            return doc
+
+        with pytest.raises(IndexError_):
+            collection.update_one({"name": "c"}, strip_name)
+        assert collection.get("c")["properties"]["n"] == 3
+
+    def test_failed_update_then_valid_update_succeeds(self, collection):
+        with pytest.raises(DuplicateKeyError):
+            collection.update_one({"name": "a"}, {"$set": {"name": "c"}})
+        assert collection.update_one(
+            {"name": "a"}, {"$set": {"name": "a2"}}) == 1
+        assert collection.get("a2")["properties"]["n"] == 1
+        # The old key is free again and the indexes moved with the doc.
+        collection.insert_one({"name": "a", "properties": {"labels": []}})
+        assert {d["name"] for d in collection.find({"properties.labels": "x"})} == {"a2"}
+
+    def test_unhashable_hash_index_value_keeps_document(self, collection):
+        # HashIndex keys pass through _hashable, which raises TypeError on
+        # sets; before pre-validation the doc was removed first and lost.
+        with pytest.raises(TypeError):
+            collection.update_one({"name": "a"},
+                                  {"$set": {"properties.labels": [{1, 2}]}})
+        assert collection.count() == 3
+        assert collection.get("a")["properties"]["labels"] == ["x", "y"]
+        assert {d["name"] for d in collection.find({"properties.labels": "x"})} == {"a"}
+
+    def test_update_to_same_unique_value_still_allowed(self, collection):
+        # Re-asserting the document's own key is not a collision.
+        assert collection.update_one(
+            {"name": "b"}, {"$set": {"name": "b", "properties.n": 20}}) == 1
+        assert collection.get("b")["properties"]["n"] == 20
+
+    def test_update_to_oversized_geometry_keeps_document(self, collection):
+        huge = {"bbox": [-179.0, -89.0, 179.0, 89.0]}
+        with pytest.raises(Exception):
+            collection.update_one({"name": "a"}, {"$set": {"location": huge}})
+        # The original geometry still answers geo queries.
+        shape = Rectangle(BoundingBox(west=9.9, south=49.9, east=10.15, north=50.2))
+        assert {d["name"] for d in collection.find(
+            {"location": {"$geoWithin": shape}})} == {"a"}
+
+
 class TestGeoIndexMaintenance:
     def test_geo_index_candidates_shrink_search(self, collection):
         shape = Rectangle(BoundingBox(west=-9.5, south=37.5, east=-8.5, north=38.5))
