@@ -31,6 +31,7 @@ from .config import (
     GeoIndexConfig,
     IndexConfig,
     MiLaNConfig,
+    ObsConfig,
     ServingConfig,
     TrainConfig,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "GeoIndexConfig",
     "ServingConfig",
     "FederationConfig",
+    "ObsConfig",
     "FederatedEarthQube",
     "ReproError",
     "__version__",

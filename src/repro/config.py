@@ -208,6 +208,35 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability settings (:mod:`repro.obs`).
+
+    Controls end-to-end query tracing and the slow-query log:
+
+    * ``enabled`` — master switch; when off, no request is ever traced and
+      ``trace=true`` API requests are served without a span tree,
+    * ``sample_rate`` — fraction of requests that get a root trace
+      (deterministic credit sampling: ``0.1`` traces every 10th request);
+      the default keeps tracing always-on at low cost,
+    * ``slow_threshold_ms`` / ``slow_buffer_size`` — any request slower
+      than the threshold is recorded in a bounded ring buffer served at
+      ``GET /debug/slow_queries`` (with its span tree when sampled).
+    """
+
+    enabled: bool = True
+    sample_rate: float = 0.1
+    slow_threshold_ms: float = 100.0
+    slow_buffer_size: int = 256
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.sample_rate <= 1.0,
+                 f"sample_rate must be in [0, 1], got {self.sample_rate}")
+        _require(self.slow_threshold_ms >= 0.0,
+                 "slow_threshold_ms must be >= 0")
+        _require(self.slow_buffer_size >= 1, "slow_buffer_size must be >= 1")
+
+
+@dataclass(frozen=True)
 class FederationConfig:
     """Federation tier settings (:mod:`repro.federation`).
 
@@ -232,6 +261,7 @@ class FederationConfig:
     breaker_cooldown_s: float = 30.0
     namespace_results: str = "auto"
     histogram_window: int = 1024
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         _require(self.node_timeout_s > 0.0,
@@ -269,6 +299,7 @@ class EarthQubeConfig:
     index: IndexConfig = field(default_factory=IndexConfig)
     geo_index: GeoIndexConfig = field(default_factory=GeoIndexConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     max_rendered_images: int = 1000
     cart_page_limit: int = 50
 

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 from ..errors import ReproError, ValidationError
 from ..geo.bbox import BoundingBox
 from ..geo.shapes import Circle, Polygon, Rectangle, Shape
+from ..obs import Observability, render_prometheus
 from .label_filter import LabelOperator
 from .query import QuerySpec
 from .server import EarthQube
@@ -123,6 +124,25 @@ class EarthQubeAPI:
                                   "(the API was built federation-only)")
         return self.system
 
+    def _obs(self) -> Observability:
+        """The observability facade query routes report into.
+
+        Federated APIs observe at the federation front-end (the request's
+        root lives there; per-node work stitches in as child spans);
+        otherwise at the local system.
+        """
+        if self.federation is not None:
+            return self.federation.obs
+        return self._require_system().obs
+
+    @staticmethod
+    def _attach_trace(payload: dict, request_ctx) -> dict:
+        """Add ``trace_id`` + the span tree to a ``trace=true`` response."""
+        if request_ctx.traced:
+            payload["trace_id"] = request_ctx.trace_id
+            payload["trace"] = request_ctx.tree()
+        return payload
+
     @staticmethod
     def _parse_filter(payload: "Mapping[str, Any] | None") -> "QuerySpec | None":
         """Parse the optional metadata filter of a CBIR request.
@@ -144,19 +164,22 @@ class EarthQubeAPI:
 
         ``explain=true`` adds an ``explain`` section with the access-path
         ``plan`` and ``candidates_examined`` (how many index candidates the
-        matcher verified) from the store's query planner.
+        matcher verified) from the store's query planner.  ``trace=true``
+        adds ``trace_id`` and the request's span ``trace`` tree.
         """
         try:
             if not isinstance(request, Mapping):
                 raise ValidationError("request body must be an object")
             request = dict(request)
             explain = bool(request.pop("explain", False))
+            trace = bool(request.pop("trace", False))
             spec = parse_query_request(request)
-            if self.federation is not None:
-                federated = self.federation.search(spec)
-                response, meta = federated.value, federated.meta
-            else:
-                response, meta = self._require_system().search(spec), None
+            with self._obs().request("api.search", force_trace=trace) as ctx:
+                if self.federation is not None:
+                    federated = self.federation.search(spec)
+                    response, meta = federated.value, federated.meta
+                else:
+                    response, meta = self._require_system().search(spec), None
         except ReproError as exc:
             return self._error(exc)
         payload = {
@@ -173,7 +196,7 @@ class EarthQubeAPI:
             }
         if meta is not None:
             payload["federation"] = meta.as_dict()
-        return payload
+        return self._attach_trace(payload, ctx)
 
     def similar(self, request: Mapping[str, Any]) -> dict:
         """POST /similar — CBIR from an archive image name.
@@ -189,15 +212,17 @@ class EarthQubeAPI:
             name = str(request["name"])
             k = request.get("k", 10)
             radius = request.get("radius")
+            trace = bool(request.get("trace", False))
             kwargs = ({"k": None, "radius": int(radius)} if radius is not None
                       else {"k": int(k)})
             kwargs["filter"] = self._parse_filter(request.get("filter"))
             meta = None
-            if self.federation is not None:
-                federated = self.federation.similar_images(name, **kwargs)
-                result, meta = federated.value, federated.meta
-            else:
-                result = self._require_system().similar_images(name, **kwargs)
+            with self._obs().request("api.similar", force_trace=trace) as ctx:
+                if self.federation is not None:
+                    federated = self.federation.similar_images(name, **kwargs)
+                    result, meta = federated.value, federated.meta
+                else:
+                    result = self._require_system().similar_images(name, **kwargs)
         except ReproError as exc:
             return self._error(exc)
         payload = {
@@ -209,7 +234,7 @@ class EarthQubeAPI:
         }
         if meta is not None:
             payload["federation"] = meta.as_dict()
-        return payload
+        return self._attach_trace(payload, ctx)
 
     def similar_batch(self, request: Mapping[str, Any]) -> dict:
         """POST /similar/batch — CBIR for many archive images in one call.
@@ -230,16 +255,20 @@ class EarthQubeAPI:
             names = [str(name) for name in names]
             k = request.get("k", 10)
             radius = request.get("radius")
+            trace = bool(request.get("trace", False))
             kwargs = ({"k": None, "radius": int(radius)} if radius is not None
                       else {"k": int(k)})
             kwargs["filter"] = self._parse_filter(request.get("filter"))
             meta = None
-            if self.federation is not None:
-                federated = self.federation.similar_images_batch(names, **kwargs)
-                responses, meta = federated.value, federated.meta
-            else:
-                responses = self._require_system().similar_images_batch(
-                    names, **kwargs)
+            with self._obs().request("api.similar_batch",
+                                     force_trace=trace) as ctx:
+                if self.federation is not None:
+                    federated = self.federation.similar_images_batch(
+                        names, **kwargs)
+                    responses, meta = federated.value, federated.meta
+                else:
+                    responses = self._require_system().similar_images_batch(
+                        names, **kwargs)
         except ReproError as exc:
             return self._error(exc)
         payload = {
@@ -254,7 +283,7 @@ class EarthQubeAPI:
         }
         if meta is not None:
             payload["federation"] = meta.as_dict()
-        return payload
+        return self._attach_trace(payload, ctx)
 
     def delete_image(self, name: str) -> dict:
         """DELETE /images/<name> — remove an image from the live archive.
@@ -334,17 +363,85 @@ class EarthQubeAPI:
         return {"ok": True, "federated": True, "count": len(nodes),
                 "nodes": nodes}
 
-    def metrics(self) -> dict:
+    def metrics(self, format: str = "json") -> "dict | str":
         """GET /metrics — serving + federation observability snapshot.
 
         ``serving``: latency percentiles, QPS, cache hit/miss accounting,
         micro-batcher coalescing stats, and shard occupancy when the
         serving tier is enabled (``null`` otherwise).  ``federation``:
         scatter-gather latency with the per-node series when federated.
+
+        ``GET /metrics?format=prometheus`` returns the same snapshot as
+        Prometheus text exposition (version 0.0.4) instead of JSON:
+        counters as ``_total`` series, latency summaries in seconds with
+        quantile labels, labeled families (e.g. per-node latency) with
+        their label sets.
         """
+        if format not in ("json", "prometheus"):
+            return self._error(ValidationError(
+                f"format must be 'json' or 'prometheus', got {format!r}"))
         payload: dict = {"ok": True, "serving": None}
         if self.system is not None and self.system.gateway is not None:
             payload["serving"] = self.system.gateway.metrics_snapshot()
         if self.federation is not None:
             payload["federation"] = self.federation.metrics_snapshot()
+        if format == "prometheus":
+            return render_prometheus(payload)
         return payload
+
+    def health(self) -> dict:
+        """GET /health — liveness: the process answers requests at all."""
+        return {"ok": True, "status": "alive"}
+
+    def ready(self) -> dict:
+        """GET /ready — readiness: can this API actually serve queries?
+
+        A local system is ready once its Hamming index holds at least one
+        image; a federation is ready when it has registered nodes and at
+        least one circuit is not open.  ``ready`` is the conjunction, so a
+        load balancer can gate traffic on this single flag.
+        """
+        ready = True
+        payload: dict = {"ok": True, "system": None, "federation": None}
+        if self.system is not None:
+            indexed = len(self.system.cbir)
+            payload["system"] = {
+                "index_built": indexed > 0,
+                "indexed_images": indexed,
+                "serving_enabled": self.system.gateway is not None,
+            }
+            ready = ready and indexed > 0
+        if self.federation is not None:
+            nodes = self.federation.nodes()
+            open_circuits = sum(1 for entry in nodes
+                                if entry["health"]["state"] == "open")
+            payload["federation"] = {
+                "nodes_total": len(nodes),
+                "nodes_open_circuit": open_circuits,
+                "nodes_available": len(nodes) - open_circuits,
+            }
+            ready = ready and len(nodes) > 0 and open_circuits < len(nodes)
+        payload["ready"] = ready
+        return payload
+
+    def slow_queries(self, limit: "int | None" = None) -> dict:
+        """GET /debug/slow_queries — the slow-query ring buffer, newest
+        first.  Traced entries carry their span tree, so a tail-latency
+        spike can be drilled into after the fact."""
+        try:
+            if limit is not None and int(limit) < 1:
+                raise ValidationError(f"limit must be >= 1, got {limit}")
+        except (TypeError, ValueError):
+            return self._error(ValidationError(
+                f"limit must be an integer, got {limit!r}"))
+        except ReproError as exc:
+            return self._error(exc)
+        log = self._obs().slow_log
+        entries = log.snapshot()
+        if limit is not None:
+            entries = entries[:int(limit)]
+        info = log.describe()
+        return {"ok": True, "threshold_ms": info["threshold_ms"],
+                "capacity": info["capacity"],
+                "recorded_total": info["recorded_total"],
+                "count": len(entries), "entries": entries}

@@ -39,6 +39,7 @@ from ..features.extractor import FeatureExtractor
 from ..index.hamming import TombstoneSet
 from ..index.mih import MultiIndexHashing
 from ..index.results import SearchResult
+from ..obs import tracing
 from .query import QuerySpec
 
 _FILTER_MODES = ("auto", "pre", "post")
@@ -323,7 +324,10 @@ class CBIRService:
                 raise ValidationError(
                     "QuerySpec filters need a metadata tier; attach a "
                     "spec_resolver or pass a RowFilter / name iterable")
-            return self.spec_resolver(filter)
+            with tracing.span("cbir.filter_resolve") as resolve_span:
+                row_filter = self.spec_resolver(filter)
+                resolve_span.annotate(allowed=row_filter.count)
+            return row_filter
         if isinstance(filter, (list, tuple, set, frozenset)):
             return self.make_filter(filter)
         raise ValidationError(
@@ -537,6 +541,7 @@ class CBIRService:
             batches = [[] for _ in range(codes.shape[0])]
         else:
             mode = self._filter_mode(row_filter, strategy)
+            tracing.annotate(filter_mode=mode, filter_count=row_filter.count)
             if radius is not None:
                 if mode == "pre":
                     batches = self._index.search_radius_batch(
@@ -581,6 +586,7 @@ class CBIRService:
         if row_filter.count == 0:
             return [], self._used_radius([], radius)
         mode = self._filter_mode(row_filter, strategy)
+        tracing.annotate(filter_mode=mode, filter_count=row_filter.count)
         if radius is not None:
             if mode == "pre":
                 results = self._index.search_radius(

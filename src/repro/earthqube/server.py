@@ -25,6 +25,7 @@ from ..config import EarthQubeConfig, ServingConfig
 from ..core.hasher import MiLaNHasher
 from ..errors import UnknownPatchError, ValidationError
 from ..features.extractor import FeatureExtractor
+from ..obs import Observability
 from ..store.database import Database, IMAGE_DATA, METADATA, RENDERED_IMAGES
 from .cart import DownloadCart
 from .cbir import CBIRService, SimilarityResponse
@@ -58,6 +59,11 @@ class EarthQube:
         # The optional serving tier (sharding + batching + caching); routed
         # to by search/similar_images when enabled.  See repro.serving.
         self.gateway = None
+        # End-to-end query tracing + slow-query log + structured logs.  A
+        # request on a thread that already carries a trace (a federation
+        # scatter into this node) degrades to a child span, stitching the
+        # node's work into the caller's tree.  See repro.obs.
+        self.obs = Observability(config.obs)
 
     # ------------------------------------------------------------------ #
     # Bootstrap
@@ -147,9 +153,10 @@ class EarthQube:
 
     def search(self, spec: QuerySpec) -> SearchResponse:
         """Execute a query-panel search."""
-        if self.gateway is not None:
-            return self.gateway.search(spec)
-        return self.search_service.search(spec)
+        with self.obs.request("search", served=self.gateway is not None):
+            if self.gateway is not None:
+                return self.gateway.search(spec)
+            return self.search_service.search(spec)
 
     def count(self, spec: QuerySpec) -> int:
         """Total number of image patches matching the query criteria."""
@@ -180,11 +187,12 @@ class EarthQube:
         """
         if radius is None and k is None:
             radius = self.config.index.hamming_radius
-        if self.gateway is not None:
-            return self.gateway.similar_images(name, k=k, radius=radius,
-                                               filter=filter)
-        return self.cbir.query_by_name(name, k=k, radius=radius,
-                                       filter=self.row_filter_for(filter))
+        with self.obs.request("similar", served=self.gateway is not None):
+            if self.gateway is not None:
+                return self.gateway.similar_images(name, k=k, radius=radius,
+                                                   filter=filter)
+            return self.cbir.query_by_name(name, k=k, radius=radius,
+                                           filter=self.row_filter_for(filter))
 
     def similar_images_batch(self, names: "list[str]", *,
                              k: "int | None" = 10,
@@ -200,21 +208,25 @@ class EarthQube:
         """
         if radius is None and k is None:
             radius = self.config.index.hamming_radius
-        if self.gateway is not None:
-            return self.gateway.similar_images_batch(names, k=k, radius=radius,
-                                                     filter=filter)
-        return self.cbir.query_batch(list(names), k=k, radius=radius,
-                                     filter=self.row_filter_for(filter))
+        names = list(names)
+        with self.obs.request("similar_batch", queries=len(names),
+                              served=self.gateway is not None):
+            if self.gateway is not None:
+                return self.gateway.similar_images_batch(
+                    names, k=k, radius=radius, filter=filter)
+            return self.cbir.query_batch(names, k=k, radius=radius,
+                                         filter=self.row_filter_for(filter))
 
     def similar_to_new_image(self, patch: Patch, *, k: "int | None" = 10,
                              radius: "int | None" = None,
                              filter: "QuerySpec | None" = None) -> SimilarityResponse:
         """CBIR from an uploaded image (query-by-new-example)."""
-        if self.gateway is not None:
-            return self.gateway.similar_to_new_image(patch, k=k, radius=radius,
-                                                     filter=filter)
-        return self.cbir.query_by_patch(patch, k=k, radius=radius,
-                                        filter=self.row_filter_for(filter))
+        with self.obs.request("similar_new", served=self.gateway is not None):
+            if self.gateway is not None:
+                return self.gateway.similar_to_new_image(
+                    patch, k=k, radius=radius, filter=filter)
+            return self.cbir.query_by_patch(patch, k=k, radius=radius,
+                                            filter=self.row_filter_for(filter))
 
     def documents_for(self, names: "list[str]") -> list[dict]:
         """Metadata documents for a list of patch names (ranked order kept)."""

@@ -23,8 +23,13 @@ accumulate per cooldown window.
 Every scatter returns the per-node outcomes plus a
 :class:`FederatedResultMeta` making partial results *explicit*: which
 nodes were queried, which answered, which failed and why, which were
-skipped.  Per-node latency is recorded into a labeled histogram family
-(``node.<name>``) on the executor's metrics registry.
+skipped.  Per-node latency, failures and skips are recorded as labeled
+metric series (``node.latency`` / ``node.failures`` / ``node.skipped``
+with a ``node=<name>`` label) on the executor's metrics registry, and
+each scatter opens a ``federation.scatter`` trace span whose per-node
+``federation.node`` children run on the call threads (the trace context
+is captured before the fan-out and re-attached inside each thread, so
+cross-thread spans stitch into the caller's tree).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..config import FederationConfig
+from ..obs import tracing
 from ..serving.metrics import MetricsRegistry
 from .registry import FederatedNode, NodeRegistry
 
@@ -139,22 +145,26 @@ class FederatedExecutor:
                 admitted.append(node)
             else:
                 meta.skipped[node.name] = SKIP_CIRCUIT_OPEN
-                self.metrics.counter(f"node.{node.name}.skipped").increment()
+                self.metrics.counter("node.skipped", node=node.name).increment()
         meta.queried = [node.name for node in admitted]
 
         outcomes: list[NodeOutcome] = []
         if admitted:
-            started = self._clock()
-            futures = [self._spawn(fn, node) for node in admitted]
-            deadline = started + self.config.node_timeout_s
-            for node, future in zip(admitted, futures):
-                outcome = self._gather_one(node, future, started, deadline)
-                outcomes.append(outcome)
-                meta.latency_s[node.name] = outcome.latency_s
-                if outcome.ok:
-                    meta.answered.append(node.name)
-                else:
-                    meta.failed[node.name] = outcome.error or "unknown error"
+            with tracing.span("federation.scatter", nodes=len(admitted),
+                              skipped=len(meta.skipped)) as scatter_span:
+                started = self._clock()
+                futures = [self._spawn(fn, node) for node in admitted]
+                deadline = started + self.config.node_timeout_s
+                for node, future in zip(admitted, futures):
+                    outcome = self._gather_one(node, future, started, deadline)
+                    outcomes.append(outcome)
+                    meta.latency_s[node.name] = outcome.latency_s
+                    if outcome.ok:
+                        meta.answered.append(node.name)
+                    else:
+                        meta.failed[node.name] = outcome.error or "unknown error"
+                scatter_span.annotate(answered=len(meta.answered),
+                                      failed=len(meta.failed))
         return outcomes, meta
 
     def _spawn(self, fn: Callable[[FederatedNode], Any],
@@ -167,14 +177,19 @@ class FederatedExecutor:
         also keep a permanently hung archive from blocking interpreter exit.
         """
         future: "Future[tuple[int, Any]]" = Future()
+        parent = tracing.capture()
 
         def run() -> None:
-            try:
-                result = self._call_with_retries(fn, node)
-            except BaseException as exc:
-                future.set_exception(exc)
-            else:
-                future.set_result(result)
+            with tracing.attach(parent), \
+                    tracing.span("federation.node", node=node.name) as node_span:
+                try:
+                    result = self._call_with_retries(fn, node)
+                except BaseException as exc:
+                    node_span.annotate(ok=False)
+                    future.set_exception(exc)
+                else:
+                    node_span.annotate(ok=True, attempts=result[0])
+                    future.set_result(result)
 
         threading.Thread(target=run, name=f"federation-{node.name}",
                          daemon=True).start()
@@ -200,21 +215,21 @@ class FederatedExecutor:
         except FutureTimeoutError:
             latency = self._clock() - started
             breaker.record_failure()
-            self.metrics.counter(f"node.{node.name}.failures").increment()
+            self.metrics.counter("node.failures", node=node.name).increment()
             return NodeOutcome(
                 node.name, ok=False, latency_s=latency,
                 error=f"timeout after {self.config.node_timeout_s}s")
         except _AttemptsExhausted as exc:
             latency = self._clock() - started
             breaker.record_failure()
-            self.metrics.counter(f"node.{node.name}.failures").increment()
-            self.metrics.histogram(f"node.{node.name}").record(latency)
+            self.metrics.counter("node.failures", node=node.name).increment()
+            self.metrics.histogram("node.latency", node=node.name).record(latency)
             return NodeOutcome(
                 node.name, ok=False, latency_s=latency, attempts=exc.attempts,
                 error=f"{type(exc.cause).__name__}: {exc.cause}")
         latency = self._clock() - started
         breaker.record_success()
-        self.metrics.histogram(f"node.{node.name}").record(latency)
+        self.metrics.histogram("node.latency", node=node.name).record(latency)
         return NodeOutcome(node.name, ok=True, value=value,
                            latency_s=latency, attempts=attempts)
 

@@ -34,6 +34,7 @@ from .executor import (
     FederatedExecutor,
     FederatedResultMeta,
 )
+from ..obs import Observability
 from .merge import (
     merge_search,
     merge_similarity,
@@ -69,6 +70,7 @@ class FederatedEarthQube:
             clock=clock)
         self.executor = FederatedExecutor(self.registry, self.config, clock=clock)
         self.metrics = self.executor.metrics
+        self.obs = Observability(self.config.obs, component="federation")
         if nodes is not None:
             if isinstance(nodes, Mapping):
                 for name, system in nodes.items():
@@ -174,13 +176,16 @@ class FederatedEarthQube:
         concatenation; the original skip/limit apply to the merged list.
         """
         self._require_nodes()
-        node_limit = None if spec.limit is None else spec.skip + spec.limit
-        node_spec = replace(spec, skip=0, limit=node_limit)
-        outcomes, meta = self.executor.scatter(lambda node: node.search(node_spec))
-        merged = merge_search(
-            [(o.node_name, o.value) for o in outcomes if o.ok],
-            skip=spec.skip, limit=spec.limit, namespace=self._namespacing())
-        return FederatedResponse(merged, meta)
+        with self.obs.request("federation.search") as req:
+            node_limit = None if spec.limit is None else spec.skip + spec.limit
+            node_spec = replace(spec, skip=0, limit=node_limit)
+            outcomes, meta = self.executor.scatter(
+                lambda node: node.search(node_spec))
+            merged = merge_search(
+                [(o.node_name, o.value) for o in outcomes if o.ok],
+                skip=spec.skip, limit=spec.limit, namespace=self._namespacing())
+            req.annotate(answered=len(meta.answered), failed=len(meta.failed))
+            return FederatedResponse(merged, meta)
 
     def similar_images(self, name: str, *, k: "int | None" = 10,
                        radius: "int | None" = None,
@@ -193,28 +198,32 @@ class FederatedEarthQube:
         filtering a global ranking.
         """
         self._require_nodes()
-        owner, bare = self.resolve_image(name)
-        if radius is None and k is None:
-            radius = owner.default_radius()
-        self._validate_code_query(k, radius)
-        code = owner.code_of(bare)
-        request_k = None if k is None else k + 1
-        namespace = self._namespacing()
-        targets, pre_skipped = self._compatible_targets(
-            owner.system.hasher.num_bits)
-        # filter_spec rides along only when set, so stubs/peers speaking
-        # the unfiltered protocol keep working.
-        filter_kwargs = {} if filter is None else {"filter_spec": filter}
-        outcomes, meta = self.executor.scatter(
-            lambda node: node.query_code(code, k=request_k, radius=radius,
-                                         **filter_kwargs),
-            nodes=targets, pre_skipped=pre_skipped)
-        merged, used = merge_similarity(
-            [(o.node_name, o.value[0], o.value[1]) for o in outcomes if o.ok],
-            k=request_k, radius=radius, namespace=namespace)
-        query_id = self._canonical_id(owner, bare, namespace)
-        return FederatedResponse(
-            shape_name_response(query_id, merged, used, k), meta)
+        with self.obs.request("federation.similar") as req:
+            owner, bare = self.resolve_image(name)
+            if radius is None and k is None:
+                radius = owner.default_radius()
+            self._validate_code_query(k, radius)
+            code = owner.code_of(bare)
+            request_k = None if k is None else k + 1
+            namespace = self._namespacing()
+            targets, pre_skipped = self._compatible_targets(
+                owner.system.hasher.num_bits)
+            # filter_spec rides along only when set, so stubs/peers speaking
+            # the unfiltered protocol keep working.
+            filter_kwargs = {} if filter is None else {"filter_spec": filter}
+            outcomes, meta = self.executor.scatter(
+                lambda node: node.query_code(code, k=request_k, radius=radius,
+                                             **filter_kwargs),
+                nodes=targets, pre_skipped=pre_skipped)
+            merged, used = merge_similarity(
+                [(o.node_name, o.value[0], o.value[1])
+                 for o in outcomes if o.ok],
+                k=request_k, radius=radius, namespace=namespace)
+            query_id = self._canonical_id(owner, bare, namespace)
+            req.annotate(owner=owner.name, answered=len(meta.answered),
+                         failed=len(meta.failed))
+            return FederatedResponse(
+                shape_name_response(query_id, merged, used, k), meta)
 
     def similar_images_batch(self, names: "list[str]", *,
                              k: "int | None" = 10,
@@ -231,34 +240,37 @@ class FederatedEarthQube:
         names = list(names)
         if not names:
             raise ValidationError("similar_images_batch needs at least one name")
-        resolved = [self.resolve_image(name) for name in names]
-        widths = {owner.system.hasher.num_bits for owner, _ in resolved}
-        if len(widths) > 1:
-            raise ValidationError(
-                f"batch queries span incompatible code widths {sorted(widths)}")
-        if radius is None and k is None:
-            radius = resolved[0][0].default_radius()
-        self._validate_code_query(k, radius)
-        codes = np.stack([owner.code_of(bare) for owner, bare in resolved])
-        request_k = None if k is None else k + 1
-        namespace = self._namespacing()
-        targets, pre_skipped = self._compatible_targets(widths.pop())
-        filter_kwargs = {} if filter is None else {"filter_spec": filter}
-        outcomes, meta = self.executor.scatter(
-            lambda node: node.query_codes_batch(codes, k=request_k,
-                                                radius=radius,
-                                                **filter_kwargs),
-            nodes=targets, pre_skipped=pre_skipped)
-        answered = [o for o in outcomes if o.ok]
-        responses: list[SimilarityResponse] = []
-        for position, (owner, bare) in enumerate(resolved):
-            merged, used = merge_similarity(
-                [(o.node_name, o.value[position][0], o.value[position][1])
-                 for o in answered],
-                k=request_k, radius=radius, namespace=namespace)
-            query_id = self._canonical_id(owner, bare, namespace)
-            responses.append(shape_name_response(query_id, merged, used, k))
-        return FederatedResponse(responses, meta)
+        with self.obs.request("federation.similar_batch",
+                              queries=len(names)) as req:
+            resolved = [self.resolve_image(name) for name in names]
+            widths = {owner.system.hasher.num_bits for owner, _ in resolved}
+            if len(widths) > 1:
+                raise ValidationError(
+                    f"batch queries span incompatible code widths {sorted(widths)}")
+            if radius is None and k is None:
+                radius = resolved[0][0].default_radius()
+            self._validate_code_query(k, radius)
+            codes = np.stack([owner.code_of(bare) for owner, bare in resolved])
+            request_k = None if k is None else k + 1
+            namespace = self._namespacing()
+            targets, pre_skipped = self._compatible_targets(widths.pop())
+            filter_kwargs = {} if filter is None else {"filter_spec": filter}
+            outcomes, meta = self.executor.scatter(
+                lambda node: node.query_codes_batch(codes, k=request_k,
+                                                    radius=radius,
+                                                    **filter_kwargs),
+                nodes=targets, pre_skipped=pre_skipped)
+            answered = [o for o in outcomes if o.ok]
+            responses: list[SimilarityResponse] = []
+            for position, (owner, bare) in enumerate(resolved):
+                merged, used = merge_similarity(
+                    [(o.node_name, o.value[position][0], o.value[position][1])
+                     for o in answered],
+                    k=request_k, radius=radius, namespace=namespace)
+                query_id = self._canonical_id(owner, bare, namespace)
+                responses.append(shape_name_response(query_id, merged, used, k))
+            req.annotate(answered=len(meta.answered), failed=len(meta.failed))
+            return FederatedResponse(responses, meta)
 
     def delete_image(self, name: str) -> dict:
         """Delete a federated image at its owning node.
@@ -276,18 +288,19 @@ class FederatedEarthQube:
     def statistics_for(self, names: "list[str]") -> FederatedResponse:
         """Label statistics over federated names, summed across archives."""
         self._require_nodes()
-        groups: dict[str, list[str]] = {}
-        for name in names:
-            owner, bare = self.resolve_image(name)
-            groups.setdefault(owner.name, []).append(bare)
-        owners = [node for node in self.registry if node.name in groups]
-        pre_skipped = {node.name: SKIP_NO_DATA for node in self.registry
-                       if node.name not in groups}
-        outcomes, meta = self.executor.scatter(
-            lambda node: node.statistics_for(groups[node.name]), nodes=owners,
-            pre_skipped=pre_skipped)
-        merged = merge_statistics(o.value for o in outcomes if o.ok)
-        return FederatedResponse(merged, meta)
+        with self.obs.request("federation.statistics", names=len(names)):
+            groups: dict[str, list[str]] = {}
+            for name in names:
+                owner, bare = self.resolve_image(name)
+                groups.setdefault(owner.name, []).append(bare)
+            owners = [node for node in self.registry if node.name in groups]
+            pre_skipped = {node.name: SKIP_NO_DATA for node in self.registry
+                           if node.name not in groups}
+            outcomes, meta = self.executor.scatter(
+                lambda node: node.statistics_for(groups[node.name]),
+                nodes=owners, pre_skipped=pre_skipped)
+            merged = merge_statistics(o.value for o in outcomes if o.ok)
+            return FederatedResponse(merged, meta)
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
@@ -309,9 +322,15 @@ class FederatedEarthQube:
         }
 
     def metrics_snapshot(self) -> dict:
-        """Executor metrics plus the per-node latency series family."""
+        """Executor metrics plus the per-node latency series family.
+
+        ``per_node_latency`` keeps its historical ``{node: summary}`` shape,
+        projected from the labeled ``node.latency`` family (the same series
+        the Prometheus exposition renders with ``node="<name>"`` labels).
+        """
         snapshot = self.metrics.snapshot()
-        snapshot["per_node_latency"] = self.metrics.family("node")
+        snapshot["per_node_latency"] = self.metrics.labeled_family(
+            "node.latency", "node")
         return snapshot
 
     def close(self) -> None:

@@ -25,6 +25,7 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
+from ..obs import tracing
 from .hamming import (
     TombstoneSet,
     allowed_row_indices,
@@ -169,18 +170,20 @@ class LinearScanIndex:
         codes = self._require_built()
         query = np.asarray(code, dtype=np.uint64)
         allowed = self._effective_allowed(allowed)
-        if allowed is None:
-            distances = hamming_distances_to_query(codes, query)
-            within = np.flatnonzero(distances <= radius)
-            order = np.lexsort((within, distances[within]))
-            rows, kept = within[order], distances[within[order]]
-        else:
-            rows0 = self._allowed_rows(as_allowed_mask(allowed))
-            sub = hamming_distances_to_query(codes[rows0], query)
-            inside = sub <= radius
-            # rows0 ascending -> stable sort by distance is canonical.
-            order = np.argsort(sub[inside], kind="stable")
-            rows, kept = rows0[inside][order], sub[inside][order]
+        with tracing.span("linear.scan", rows=len(self._ids), queries=1,
+                          radius=radius):
+            if allowed is None:
+                distances = hamming_distances_to_query(codes, query)
+                within = np.flatnonzero(distances <= radius)
+                order = np.lexsort((within, distances[within]))
+                rows, kept = within[order], distances[within[order]]
+            else:
+                rows0 = self._allowed_rows(as_allowed_mask(allowed))
+                sub = hamming_distances_to_query(codes[rows0], query)
+                inside = sub <= radius
+                # rows0 ascending -> stable sort by distance is canonical.
+                order = np.argsort(sub[inside], kind="stable")
+                rows, kept = rows0[inside][order], sub[inside][order]
         return [SearchResult(self._ids[int(row)], int(distance))
                 for row, distance in zip(rows.tolist(), kept.tolist())]
 
@@ -192,16 +195,18 @@ class LinearScanIndex:
         codes = self._require_built()
         query = np.asarray(code, dtype=np.uint64)
         allowed = self._effective_allowed(allowed)
-        if allowed is None:
-            distances = hamming_distances_to_query(codes, query)
-            rows = top_k_smallest(distances, k)
-            return [SearchResult(self._ids[int(row)], int(distances[row]))
-                    for row in rows]
-        rows0 = self._allowed_rows(as_allowed_mask(allowed))
-        sub = hamming_distances_to_query(codes[rows0], query)
-        selection = top_k_smallest(sub, k)  # index tie-break == row tie-break
-        return [SearchResult(self._ids[int(rows0[s])], int(sub[s]))
-                for s in selection.tolist()]
+        with tracing.span("linear.scan", rows=len(self._ids), queries=1,
+                          k=k):
+            if allowed is None:
+                distances = hamming_distances_to_query(codes, query)
+                rows = top_k_smallest(distances, k)
+                return [SearchResult(self._ids[int(row)], int(distances[row]))
+                        for row in rows]
+            rows0 = self._allowed_rows(as_allowed_mask(allowed))
+            sub = hamming_distances_to_query(codes[rows0], query)
+            selection = top_k_smallest(sub, k)  # index tie-break == row tie-break
+            return [SearchResult(self._ids[int(rows0[s])], int(sub[s]))
+                    for s in selection.tolist()]
 
     # ------------------------------------------------------------------ #
     # Batch queries: one distance-matrix scan covers the whole batch
@@ -235,7 +240,10 @@ class LinearScanIndex:
         allowed = self._effective_allowed(allowed)
         rows0 = (None if allowed is None
                  else self._allowed_rows(as_allowed_mask(allowed)))
-        distances = self._batch_distances(codes, rows0)
+        with tracing.span("linear.scan", rows=len(self._ids),
+                          k=k) as scan_span:
+            distances = self._batch_distances(codes, rows0)
+            scan_span.annotate(queries=int(distances.shape[0]))
         out: "list[list[SearchResult]]" = []
         for row_distances in distances:
             selection = top_k_smallest(row_distances, k)
@@ -257,7 +265,10 @@ class LinearScanIndex:
         allowed = self._effective_allowed(allowed)
         rows0 = (None if allowed is None
                  else self._allowed_rows(as_allowed_mask(allowed)))
-        distances = self._batch_distances(codes, rows0)
+        with tracing.span("linear.scan", rows=len(self._ids),
+                          radius=radius) as scan_span:
+            distances = self._batch_distances(codes, rows0)
+            scan_span.annotate(queries=int(distances.shape[0]))
         out: "list[list[SearchResult]]" = []
         for row_distances in distances:
             inside = np.flatnonzero(row_distances <= radius)

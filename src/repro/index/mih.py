@@ -69,6 +69,7 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
+from ..obs import tracing
 from .codes import WORD_BITS
 from .hamming import TombstoneSet, as_allowed_mask, combine_allowed_masks
 from .results import RadiusSearchStats, SearchResult
@@ -583,47 +584,58 @@ class MultiIndexHashing:
                                               allowed)
         empty = np.empty(0, dtype=np.int64)
         if num_queries == 1:
-            row_of, probes = self._single_candidates(
-                queries[0], substring_radius)
-            if allowed is not None and row_of.shape[0]:
-                row_of = row_of[_allowed_keep(row_of, allowed)]
+            with tracing.span("mih.candidates",
+                              substring_radius=substring_radius) as cand_span:
+                row_of, probes = self._single_candidates(
+                    queries[0], substring_radius)
+                if allowed is not None and row_of.shape[0]:
+                    row_of = row_of[_allowed_keep(row_of, allowed)]
+                cand_span.annotate(buckets_probed=probes,
+                                   candidates=int(row_of.shape[0]))
             candidate_counts = np.array([row_of.shape[0]], dtype=np.int64)
             if row_of.shape[0]:
-                distances = np.bitwise_count(
-                    archive_codes[row_of] ^ queries[0]).sum(axis=1).astype(np.int64)
-                within = distances <= radius
-                rows_kept = row_of[within]
-                distances_kept = distances[within]
-                # row_of is ascending (np.unique), so a stable sort by
-                # distance yields the canonical (distance, row) order.
-                order = np.argsort(distances_kept, kind="stable")
-                rows_sorted = rows_kept[order]
-                distances_sorted = distances_kept[order]
+                with tracing.span("mih.verify",
+                                  candidates=int(row_of.shape[0])):
+                    distances = np.bitwise_count(
+                        archive_codes[row_of] ^ queries[0]).sum(axis=1).astype(np.int64)
+                    within = distances <= radius
+                    rows_kept = row_of[within]
+                    distances_kept = distances[within]
+                    # row_of is ascending (np.unique), so a stable sort by
+                    # distance yields the canonical (distance, row) order.
+                    order = np.argsort(distances_kept, kind="stable")
+                    rows_sorted = rows_kept[order]
+                    distances_sorted = distances_kept[order]
             else:
                 rows_sorted, distances_sorted = empty, empty
             bounds = np.array([0, rows_sorted.shape[0]], dtype=np.int64)
             return rows_sorted, distances_sorted, bounds, probes, candidate_counts
-        query_of, row_of, probes = self._batch_candidates(
-            queries, substring_radius)
-        if allowed is not None and row_of.shape[0]:
-            keep = _allowed_keep(row_of, allowed)
-            query_of = query_of[keep]
-            row_of = row_of[keep]
+        with tracing.span("mih.candidates",
+                          substring_radius=substring_radius) as cand_span:
+            query_of, row_of, probes = self._batch_candidates(
+                queries, substring_radius)
+            if allowed is not None and row_of.shape[0]:
+                keep = _allowed_keep(row_of, allowed)
+                query_of = query_of[keep]
+                row_of = row_of[keep]
+            cand_span.annotate(buckets_probed=probes,
+                               candidates=int(row_of.shape[0]))
         if not row_of.shape[0]:
             return (empty, empty, np.zeros(num_queries + 1, dtype=np.int64),
                     probes, np.zeros(num_queries, dtype=np.int64))
         candidate_counts = np.bincount(query_of, minlength=num_queries)
-        distances = np.bitwise_count(
-            archive_codes[row_of] ^ queries[query_of]).sum(axis=1).astype(np.int64)
-        within = distances <= radius
-        query_kept = query_of[within]
-        rows_kept = row_of[within]
-        distances_kept = distances[within]
-        # Canonical per-query order: (distance, insertion row) — matches
-        # LinearScanIndex so kNN results are identical across indexes.
-        order = np.lexsort((rows_kept, distances_kept, query_kept))
-        bounds = np.searchsorted(query_kept[order],
-                                 np.arange(num_queries + 1)).astype(np.int64)
+        with tracing.span("mih.verify", candidates=int(row_of.shape[0])):
+            distances = np.bitwise_count(
+                archive_codes[row_of] ^ queries[query_of]).sum(axis=1).astype(np.int64)
+            within = distances <= radius
+            query_kept = query_of[within]
+            rows_kept = row_of[within]
+            distances_kept = distances[within]
+            # Canonical per-query order: (distance, insertion row) — matches
+            # LinearScanIndex so kNN results are identical across indexes.
+            order = np.lexsort((rows_kept, distances_kept, query_kept))
+            bounds = np.searchsorted(query_kept[order],
+                                     np.arange(num_queries + 1)).astype(np.int64)
         return (rows_kept[order], distances_kept[order], bounds, probes,
                 candidate_counts)
 
@@ -635,30 +647,32 @@ class MultiIndexHashing:
         :meth:`_radius_arrays` (probes reported as the archive size)."""
         num_queries = queries.shape[0]
         total_rows = len(self._ids)
-        row_chunks: list[np.ndarray] = []
-        distance_chunks: list[np.ndarray] = []
-        bounds = np.zeros(num_queries + 1, dtype=np.int64)
-        if allowed is not None:
-            # Gather the allowed subset once: the fallback scan then costs
-            # O(|allowed|) per query instead of O(N).
-            rows0 = np.flatnonzero(allowed[:archive_codes.shape[0]])
-            archive_codes = archive_codes[rows0]
-        for query_index in range(num_queries):
-            distances = np.bitwise_count(
-                archive_codes ^ queries[query_index]).sum(axis=1).astype(np.int64)
-            within = np.flatnonzero(distances <= radius)
-            rows = within if allowed is None else rows0[within]
-            kept = distances[within]
-            order = np.argsort(kept, kind="stable")  # rows ascending -> canonical
-            row_chunks.append(rows[order])
-            distance_chunks.append(kept[order])
-            bounds[query_index + 1] = bounds[query_index] + rows.shape[0]
-        return (np.concatenate(row_chunks) if row_chunks
-                else np.empty(0, dtype=np.int64),
-                np.concatenate(distance_chunks) if distance_chunks
-                else np.empty(0, dtype=np.int64),
-                bounds, total_rows,
-                np.full(num_queries, total_rows, dtype=np.int64))
+        with tracing.span("mih.exact_fallback", rows=total_rows,
+                          queries=num_queries):
+            row_chunks: list[np.ndarray] = []
+            distance_chunks: list[np.ndarray] = []
+            bounds = np.zeros(num_queries + 1, dtype=np.int64)
+            if allowed is not None:
+                # Gather the allowed subset once: the fallback scan then
+                # costs O(|allowed|) per query instead of O(N).
+                rows0 = np.flatnonzero(allowed[:archive_codes.shape[0]])
+                archive_codes = archive_codes[rows0]
+            for query_index in range(num_queries):
+                distances = np.bitwise_count(
+                    archive_codes ^ queries[query_index]).sum(axis=1).astype(np.int64)
+                within = np.flatnonzero(distances <= radius)
+                rows = within if allowed is None else rows0[within]
+                kept = distances[within]
+                order = np.argsort(kept, kind="stable")  # rows ascending -> canonical
+                row_chunks.append(rows[order])
+                distance_chunks.append(kept[order])
+                bounds[query_index + 1] = bounds[query_index] + rows.shape[0]
+            return (np.concatenate(row_chunks) if row_chunks
+                    else np.empty(0, dtype=np.int64),
+                    np.concatenate(distance_chunks) if distance_chunks
+                    else np.empty(0, dtype=np.int64),
+                    bounds, total_rows,
+                    np.full(num_queries, total_rows, dtype=np.int64))
 
     def _linear_knn(self, query: np.ndarray, k: int, limit: int,
                     archive_codes: np.ndarray,
@@ -667,21 +681,22 @@ class MultiIndexHashing:
 
         With an allowed mask, only the allowed subset is gathered and
         scanned (pre-filter pushdown)."""
-        if allowed is None:
-            rows0 = None
-        else:
-            rows0 = np.flatnonzero(allowed[:archive_codes.shape[0]])
-            archive_codes = archive_codes[rows0]
-        distances = np.bitwise_count(
-            archive_codes ^ query).sum(axis=1).astype(np.int64)
-        within = np.flatnonzero(distances <= limit)
-        rows = within if rows0 is None else rows0[within]
-        kept = distances[within]
-        order = np.argsort(kept, kind="stable")[:k]
-        ids = self._ids
-        return [SearchResult(ids[row], distance)
-                for row, distance in zip(rows[order].tolist(),
-                                         kept[order].tolist())]
+        with tracing.span("mih.exact_fallback", rows=len(self._ids), k=k):
+            if allowed is None:
+                rows0 = None
+            else:
+                rows0 = np.flatnonzero(allowed[:archive_codes.shape[0]])
+                archive_codes = archive_codes[rows0]
+            distances = np.bitwise_count(
+                archive_codes ^ query).sum(axis=1).astype(np.int64)
+            within = np.flatnonzero(distances <= limit)
+            rows = within if rows0 is None else rows0[within]
+            kept = distances[within]
+            order = np.argsort(kept, kind="stable")[:k]
+            ids = self._ids
+            return [SearchResult(ids[row], distance)
+                    for row, distance in zip(rows[order].tolist(),
+                                             kept[order].tolist())]
 
     def _materialize_results(self, rows: np.ndarray, distances: np.ndarray,
                              lo: int, hi: int) -> list[SearchResult]:
@@ -710,8 +725,12 @@ class MultiIndexHashing:
             allowed = as_allowed_mask(allowed)
         allowed = combine_allowed_masks(self._alive_allowed(), allowed)
         num_queries = queries.shape[0]
-        rows, distances, bounds, probes, candidate_counts = \
-            self._radius_arrays(queries, radius, allowed)
+        with tracing.span("mih.radius", radius=radius,
+                          queries=num_queries) as radius_span:
+            rows, distances, bounds, probes, candidate_counts = \
+                self._radius_arrays(queries, radius, allowed)
+            radius_span.annotate(buckets_probed=probes,
+                                 candidates=int(candidate_counts.sum()))
         out = [self._materialize_results(rows, distances, int(bounds[query]),
                                          int(bounds[query + 1]))
                for query in range(num_queries)]
@@ -783,53 +802,62 @@ class MultiIndexHashing:
         acc_distances = np.empty(0, dtype=np.int64)
         radius = 0
         probed_layer = -1
-        while active.shape[0]:
-            substring_radius = radius // self.num_tables
-            if self._probe_cost(substring_radius) > self._probe_budget():
-                # The ladder degenerated (far queries / k beyond the
-                # reachable neighborhood): finishing by exact scan gives
-                # identical results at bounded cost instead of probing a
-                # combinatorial number of buckets.
-                for query in active.tolist():
-                    out[query] = self._linear_knn(queries[query], k, limit,
-                                                  archive_codes, allowed)
-                break
-            while probed_layer < substring_radius:
-                probed_layer += 1
-                fresh = self._layer_pairs(queries, active, probed_layer)
-                if allowed is not None and fresh.shape[0]:
-                    fresh = fresh[_allowed_keep(fresh % total_rows, allowed)]
-                if acc_pairs.shape[0] and fresh.shape[0]:
-                    # A layer-s bucket can hold pairs already seen in a
-                    # lower layer of another table; verify each pair once.
-                    pos = np.minimum(np.searchsorted(acc_pairs, fresh),
-                                     acc_pairs.shape[0] - 1)
-                    fresh = fresh[acc_pairs[pos] != fresh]
-                if fresh.shape[0]:
-                    rows = fresh % total_rows
-                    query_of = fresh // total_rows
-                    distances = np.bitwise_count(
-                        archive_codes[rows] ^ queries[query_of]
-                    ).sum(axis=1).astype(np.int64)
-                    insert_at = np.searchsorted(acc_pairs, fresh)
-                    acc_pairs = np.insert(acc_pairs, insert_at, fresh)
-                    acc_distances = np.insert(acc_distances, insert_at,
-                                              distances)
-            if acc_pairs.shape[0]:
-                within = acc_distances <= radius
-                counts = np.bincount(acc_pairs[within] // total_rows,
-                                     minlength=num_queries)
-            else:
-                counts = np.zeros(num_queries, dtype=np.int64)
-            still_active = []
-            for query in active.tolist():
-                if counts[query] >= k or radius >= limit:
-                    out[query] = self._materialize_knn(
-                        acc_pairs, acc_distances, query, radius, k)
+        with tracing.span("mih.knn", queries=num_queries, k=k) as knn_span:
+            while active.shape[0]:
+                substring_radius = radius // self.num_tables
+                if self._probe_cost(substring_radius) > self._probe_budget():
+                    # The ladder degenerated (far queries / k beyond the
+                    # reachable neighborhood): finishing by exact scan gives
+                    # identical results at bounded cost instead of probing a
+                    # combinatorial number of buckets.
+                    knn_span.annotate(fallback=True)
+                    for query in active.tolist():
+                        out[query] = self._linear_knn(queries[query], k, limit,
+                                                      archive_codes, allowed)
+                    break
+                while probed_layer < substring_radius:
+                    probed_layer += 1
+                    with tracing.span("mih.layer", layer=probed_layer,
+                                      active=int(active.shape[0])) as layer_span:
+                        fresh = self._layer_pairs(queries, active, probed_layer)
+                        if allowed is not None and fresh.shape[0]:
+                            fresh = fresh[_allowed_keep(fresh % total_rows,
+                                                        allowed)]
+                        if acc_pairs.shape[0] and fresh.shape[0]:
+                            # A layer-s bucket can hold pairs already seen in
+                            # a lower layer of another table; verify each
+                            # pair once.
+                            pos = np.minimum(np.searchsorted(acc_pairs, fresh),
+                                             acc_pairs.shape[0] - 1)
+                            fresh = fresh[acc_pairs[pos] != fresh]
+                        layer_span.annotate(fresh=int(fresh.shape[0]))
+                        if fresh.shape[0]:
+                            rows = fresh % total_rows
+                            query_of = fresh // total_rows
+                            distances = np.bitwise_count(
+                                archive_codes[rows] ^ queries[query_of]
+                            ).sum(axis=1).astype(np.int64)
+                            insert_at = np.searchsorted(acc_pairs, fresh)
+                            acc_pairs = np.insert(acc_pairs, insert_at, fresh)
+                            acc_distances = np.insert(acc_distances, insert_at,
+                                                      distances)
+                if acc_pairs.shape[0]:
+                    within = acc_distances <= radius
+                    counts = np.bincount(acc_pairs[within] // total_rows,
+                                         minlength=num_queries)
                 else:
-                    still_active.append(query)
-            active = np.asarray(still_active, dtype=np.int64)
-            radius = min(limit, radius + self.num_tables)
+                    counts = np.zeros(num_queries, dtype=np.int64)
+                still_active = []
+                for query in active.tolist():
+                    if counts[query] >= k or radius >= limit:
+                        out[query] = self._materialize_knn(
+                            acc_pairs, acc_distances, query, radius, k)
+                    else:
+                        still_active.append(query)
+                active = np.asarray(still_active, dtype=np.int64)
+                radius = min(limit, radius + self.num_tables)
+            knn_span.annotate(ladder_radius=radius,
+                              layers_probed=probed_layer + 1)
         return out  # type: ignore[return-value]
 
     def _knn_single(self, query: np.ndarray, k: int, limit: int,
@@ -840,37 +868,46 @@ class MultiIndexHashing:
         acc_distances = np.empty(0, dtype=np.int64)
         radius = 0
         probed_layer = -1
-        while True:
-            substring_radius = radius // self.num_tables
-            if self._probe_cost(substring_radius) > self._probe_budget():
-                return self._linear_knn(query, k, limit, archive_codes, allowed)
-            while probed_layer < substring_radius:
-                probed_layer += 1
-                fresh, _ = self._single_candidates(query, substring_radius,
-                                                   layer=probed_layer)
-                if allowed is not None and fresh.shape[0]:
-                    fresh = fresh[_allowed_keep(fresh, allowed)]
-                if acc_rows.shape[0] and fresh.shape[0]:
-                    pos = np.minimum(np.searchsorted(acc_rows, fresh),
-                                     acc_rows.shape[0] - 1)
-                    fresh = fresh[acc_rows[pos] != fresh]
-                if fresh.shape[0]:
-                    distances = np.bitwise_count(
-                        archive_codes[fresh] ^ query).sum(axis=1).astype(np.int64)
-                    insert_at = np.searchsorted(acc_rows, fresh)
-                    acc_rows = np.insert(acc_rows, insert_at, fresh)
-                    acc_distances = np.insert(acc_distances, insert_at,
-                                              distances)
-            within = acc_distances <= radius
-            if int(within.sum()) >= k or radius >= limit:
-                rows = acc_rows[within]
-                distances = acc_distances[within]
-                order = np.argsort(distances, kind="stable")[:k]
-                ids = self._ids
-                return [SearchResult(ids[row], distance)
-                        for row, distance in zip(rows[order].tolist(),
-                                                 distances[order].tolist())]
-            radius = min(limit, radius + self.num_tables)
+        with tracing.span("mih.knn", queries=1, k=k) as knn_span:
+            while True:
+                substring_radius = radius // self.num_tables
+                if self._probe_cost(substring_radius) > self._probe_budget():
+                    knn_span.annotate(fallback=True, ladder_radius=radius,
+                                      layers_probed=probed_layer + 1)
+                    return self._linear_knn(query, k, limit, archive_codes,
+                                            allowed)
+                while probed_layer < substring_radius:
+                    probed_layer += 1
+                    with tracing.span("mih.layer", layer=probed_layer,
+                                      active=1) as layer_span:
+                        fresh, _ = self._single_candidates(query, substring_radius,
+                                                           layer=probed_layer)
+                        if allowed is not None and fresh.shape[0]:
+                            fresh = fresh[_allowed_keep(fresh, allowed)]
+                        if acc_rows.shape[0] and fresh.shape[0]:
+                            pos = np.minimum(np.searchsorted(acc_rows, fresh),
+                                             acc_rows.shape[0] - 1)
+                            fresh = fresh[acc_rows[pos] != fresh]
+                        layer_span.annotate(fresh=int(fresh.shape[0]))
+                        if fresh.shape[0]:
+                            distances = np.bitwise_count(
+                                archive_codes[fresh] ^ query).sum(axis=1).astype(np.int64)
+                            insert_at = np.searchsorted(acc_rows, fresh)
+                            acc_rows = np.insert(acc_rows, insert_at, fresh)
+                            acc_distances = np.insert(acc_distances, insert_at,
+                                                      distances)
+                within = acc_distances <= radius
+                if int(within.sum()) >= k or radius >= limit:
+                    knn_span.annotate(ladder_radius=radius,
+                                      layers_probed=probed_layer + 1)
+                    rows = acc_rows[within]
+                    distances = acc_distances[within]
+                    order = np.argsort(distances, kind="stable")[:k]
+                    ids = self._ids
+                    return [SearchResult(ids[row], distance)
+                            for row, distance in zip(rows[order].tolist(),
+                                                     distances[order].tolist())]
+                radius = min(limit, radius + self.num_tables)
 
     def _materialize_knn(self, acc_pairs: np.ndarray,
                          acc_distances: np.ndarray, query: int,

@@ -1,0 +1,47 @@
+"""End-to-end query tracing and structured observability (`repro.obs`).
+
+The observability tier answers "where did this query spend its time?"
+across every layer of the stack:
+
+* :mod:`~repro.obs.tracing` — per-request trace ids and nested spans with
+  explicit cross-thread propagation and a near-zero-cost untraced path,
+* :mod:`~repro.obs.slowlog` — a bounded ring buffer of the slowest recent
+  queries (with their span trees when sampled),
+* :mod:`~repro.obs.logs` — structured ``event=...`` logging with trace ids
+  through the stdlib :mod:`logging` tree,
+* :mod:`~repro.obs.prometheus` — Prometheus text exposition of the metric
+  snapshots, labels included,
+* :mod:`~repro.obs.observability` — the per-system facade tying the above
+  together behind :class:`~repro.config.ObsConfig`.
+"""
+
+from .observability import Observability, RequestContext
+from .prometheus import render_prometheus
+from .slowlog import SlowQueryLog
+from .logs import StructuredLogger
+from .tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    annotate,
+    attach,
+    capture,
+    current_span,
+    span,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Observability",
+    "RequestContext",
+    "SlowQueryLog",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "annotate",
+    "attach",
+    "capture",
+    "current_span",
+    "render_prometheus",
+    "span",
+]

@@ -1,0 +1,50 @@
+"""Structured event logging with trace-id correlation.
+
+Events are emitted through the stdlib :mod:`logging` tree under
+``repro.obs.<component>``, so operators plug in handlers/levels with the
+tools they already have.  Each record's message is a flat, grep-friendly
+``event=... trace_id=... key=value`` line, and the raw field dict rides
+along in ``record.structured`` for handlers that want machine-readable
+output.  Formatting is guarded by ``isEnabledFor`` so disabled levels cost
+one integer comparison.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    text = str(value)
+    if any(ch.isspace() for ch in text):
+        return f'"{text}"'
+    return text
+
+
+class StructuredLogger:
+    """``event=... key=value`` logger bound to one component."""
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+        self._logger = logging.getLogger(f"repro.obs.{component}")
+
+    @property
+    def logger(self) -> logging.Logger:
+        return self._logger
+
+    def event(self, event: str, *, level: int = logging.INFO,
+              trace_id: "str | None" = None, **fields: Any) -> None:
+        """Emit one structured event (no-op when the level is disabled)."""
+        if not self._logger.isEnabledFor(level):
+            return
+        parts = [f"event={event}"]
+        if trace_id is not None:
+            parts.append(f"trace_id={trace_id}")
+        parts.extend(f"{key}={_format_value(value)}"
+                     for key, value in sorted(fields.items()))
+        payload = {"event": event, "trace_id": trace_id, **fields}
+        self._logger.log(level, " ".join(parts),
+                         extra={"structured": payload})

@@ -1,0 +1,145 @@
+"""The per-system observability facade: tracer + slow log + event log.
+
+One :class:`Observability` instance hangs off each :class:`EarthQube`
+system (and each :class:`FederatedEarthQube` front-end).  Entry points wrap
+their work in :meth:`Observability.request`, which
+
+* starts a sampled (or forced, for ``trace=true`` API calls) root span when
+  no trace is active,
+* degrades to an ordinary child span when one *is* active — a federation
+  scatter that lands on an in-process node's entry point must stitch into
+  the caller's tree rather than start a second root,
+* always measures wall-clock duration (one ``perf_counter`` pair, even when
+  untraced) so the slow-query log sees *every* request, and
+* on root completion feeds the slow-query ring buffer and the structured
+  event log.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any
+
+from ..config import ObsConfig
+from . import tracing
+from .logs import StructuredLogger
+from .slowlog import SlowQueryLog
+
+
+class RequestContext:
+    """Context manager for one observed request (see ``Observability.request``)."""
+
+    __slots__ = ("route", "attrs", "span", "is_root", "duration_ms",
+                 "_obs", "_force", "_start")
+
+    def __init__(self, obs: "Observability", route: str, force: bool,
+                 attrs: dict) -> None:
+        self._obs = obs
+        self._force = force
+        self.route = route
+        self.attrs = attrs
+        self.span: "tracing.Span | None" = None
+        self.is_root = False
+        self.duration_ms: "float | None" = None
+        self._start = 0.0
+
+    @property
+    def trace_id(self) -> "str | None":
+        return self.span.trace_id if self.span is not None else None
+
+    @property
+    def traced(self) -> bool:
+        return self.span is not None
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+        if self.span is not None:
+            self.span.annotate(**attrs)
+
+    def tree(self) -> "dict | None":
+        """The finished span tree (root requests only; ``None`` untraced)."""
+        if self.is_root and self.span is not None:
+            return self.span.as_dict()
+        return None
+
+    def __enter__(self) -> "RequestContext":
+        parent = tracing.current_span()
+        if parent is not None:
+            child = tracing.span(self.route, **self.attrs)
+            if isinstance(child, tracing.Span):
+                self.span = child
+                child.__enter__()
+        else:
+            self.is_root = True
+            tracer = self._obs.tracer
+            if self._force or tracer.should_sample():
+                self.span = tracer.start_trace(self.route, **self.attrs)
+                self.span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_ms = (time.perf_counter() - self._start) * 1e3
+        if self.span is not None:
+            self.span.__exit__(exc_type, exc, tb)
+        if self.is_root:
+            self._obs._finish_request(self, exc_type)
+        return False
+
+
+class Observability:
+    """Tracing, slow-query, and event-log state for one system."""
+
+    def __init__(self, config: "ObsConfig | None" = None, *,
+                 component: str = "earthqube") -> None:
+        self.config = config if config is not None else ObsConfig()
+        self.component = component
+        self.tracer = tracing.Tracer(enabled=self.config.enabled,
+                                     sample_rate=self.config.sample_rate)
+        self.slow_log = SlowQueryLog(capacity=self.config.slow_buffer_size,
+                                     threshold_ms=self.config.slow_threshold_ms)
+        self.log = StructuredLogger(component)
+
+    def request(self, route: str, *, force_trace: bool = False,
+                **attrs: Any) -> RequestContext:
+        """Observe one request (root span if sampled/forced, child if nested)."""
+        return RequestContext(self, route,
+                              force_trace and self.config.enabled, attrs)
+
+    def _finish_request(self, request: RequestContext,
+                        exc_type: "type | None") -> None:
+        duration_ms = request.duration_ms or 0.0
+        fields = {key: value for key, value in request.attrs.items()
+                  if key not in ("route", "duration_ms", "trace_id", "event")}
+        if exc_type is not None:
+            self.log.event("query.error", level=logging.WARNING,
+                           trace_id=request.trace_id, route=request.route,
+                           duration_ms=duration_ms,
+                           error=exc_type.__name__, **fields)
+            return
+        if duration_ms >= self.slow_log.threshold_ms:
+            self.slow_log.record(route=request.route, duration_ms=duration_ms,
+                                 trace_id=request.trace_id,
+                                 attrs=request.attrs, trace=request.tree())
+            self.log.event("query.slow", level=logging.WARNING,
+                           trace_id=request.trace_id, route=request.route,
+                           duration_ms=duration_ms, **fields)
+        elif request.traced:
+            self.log.event("query", level=logging.DEBUG,
+                           trace_id=request.trace_id, route=request.route,
+                           duration_ms=duration_ms, **fields)
+
+    def describe(self) -> dict:
+        """JSON-compatible view of knobs and tracer/slow-log state."""
+        return {
+            "component": self.component,
+            "config": {
+                "enabled": self.config.enabled,
+                "sample_rate": self.config.sample_rate,
+                "slow_threshold_ms": self.config.slow_threshold_ms,
+                "slow_buffer_size": self.config.slow_buffer_size,
+            },
+            "tracer": self.tracer.stats(),
+            "slow_log": self.slow_log.describe(),
+        }

@@ -1,0 +1,76 @@
+"""Bounded ring buffer of the slowest recent queries.
+
+Tail latency is diagnosed from *examples*, not aggregates: the histogram
+says p99 regressed, the slow-query log says *which* queries and — when the
+request happened to be traced — *where* the time went (the span tree is
+stored alongside).  The buffer is a fixed-capacity deque, so an incident
+that makes every query slow cannot grow memory without bound; the oldest
+entries are simply displaced.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from itertools import count
+from typing import Any
+
+from ..errors import ValidationError
+
+
+class SlowQueryLog:
+    """Thread-safe bounded buffer of slow-query records (newest kept)."""
+
+    def __init__(self, capacity: int = 256, threshold_ms: float = 100.0) -> None:
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        if threshold_ms < 0.0:
+            raise ValidationError(
+                f"threshold_ms must be >= 0, got {threshold_ms}")
+        self.capacity = capacity
+        self.threshold_ms = float(threshold_ms)
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._seq = count(1)
+        self._recorded = 0
+
+    def record(self, *, route: str, duration_ms: float,
+               trace_id: "str | None" = None,
+               attrs: "dict | None" = None,
+               trace: "dict | None" = None) -> dict:
+        """Append one slow-query record; returns the stored entry."""
+        entry: dict[str, Any] = {
+            "seq": next(self._seq),
+            "recorded_at": round(time.time(), 3),
+            "route": route,
+            "duration_ms": round(float(duration_ms), 3),
+            "trace_id": trace_id,
+        }
+        if attrs:
+            entry["attrs"] = dict(attrs)
+        if trace is not None:
+            entry["trace"] = trace
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+        return entry
+
+    def snapshot(self) -> list[dict]:
+        """Current entries, newest first (JSON-compatible copies)."""
+        with self._lock:
+            entries = list(self._entries)
+        return [dict(entry) for entry in reversed(entries)]
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {"capacity": self.capacity,
+                    "threshold_ms": self.threshold_ms,
+                    "entries": len(self._entries),
+                    "recorded_total": self._recorded}

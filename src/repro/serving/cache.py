@@ -105,6 +105,21 @@ class QueryResultCache:
         with self._lock:
             return len(self._entries)
 
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of the hit/miss stats plus current size.
+
+        Taken under the cache lock, so the snapshot can never pair a
+        post-increment hit count with a pre-increment miss count (reading
+        ``self.stats`` field-by-field without the lock can).
+        """
+        with self._lock:
+            stats = CacheStats(hits=self.stats.hits, misses=self.stats.misses,
+                               evictions=self.stats.evictions,
+                               expirations=self.stats.expirations,
+                               invalidations=self.stats.invalidations)
+            entries = len(self._entries)
+        return {**stats.as_dict(), "entries": entries}
+
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value, or ``default`` on miss/expiry."""
         with self._lock:

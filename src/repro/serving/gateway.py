@@ -34,6 +34,7 @@ from ..earthqube.cbir import SimilarityResponse, shape_name_response
 from ..earthqube.query import QuerySpec
 from ..earthqube.search import SearchResponse
 from ..errors import ValidationError
+from ..obs import tracing
 from .batching import MicroBatcher
 from .cache import QueryResultCache, canonical_code_key, canonical_spec_key
 from .metrics import MetricsRegistry
@@ -101,8 +102,10 @@ class ServingGateway:
         """
         key = canonical_code_key(code, k=None if radius is not None else k,
                                  radius=radius)
-        job = (CodeQuery(code=code, radius=radius) if radius is not None
-               else CodeQuery(code=code, k=k))
+        trace = tracing.capture()
+        job = (CodeQuery(code=code, radius=radius, trace=trace)
+               if radius is not None
+               else CodeQuery(code=code, k=k, trace=trace))
         return key, job
 
     @staticmethod
@@ -186,19 +189,23 @@ class ServingGateway:
         miss_positions: list[int] = []
         miss_keys: list[tuple] = []
         miss_jobs: list[CodeQuery] = []
-        for position, code in enumerate(codes):
-            key, job = self._code_key_and_job(code, k=k, radius=radius)
-            cached = self.cache.get(key)
-            if cached is not None:
-                cached_results, cached_used = cached
-                outcomes[position] = (list(cached_results), cached_used)
-            else:
-                miss_positions.append(position)
-                miss_keys.append(key)
-                miss_jobs.append(job)
+        with tracing.span("cache.lookup", queries=len(codes)) as lookup_span:
+            for position, code in enumerate(codes):
+                key, job = self._code_key_and_job(code, k=k, radius=radius)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    cached_results, cached_used = cached
+                    outcomes[position] = (list(cached_results), cached_used)
+                else:
+                    miss_positions.append(position)
+                    miss_keys.append(key)
+                    miss_jobs.append(job)
+            lookup_span.annotate(hits=len(codes) - len(miss_jobs),
+                                 misses=len(miss_jobs))
         if miss_jobs:
             generation = self._generation
-            with self.metrics.timer("similar.execute"):
+            with self.metrics.timer("similar.execute"), \
+                    tracing.span("batch.wait", jobs=len(miss_jobs)):
                 futures = self.batcher.submit_many(miss_jobs)
                 resolved = [future.result() for future in futures]
             for position, key, results in zip(miss_positions, miss_keys,
@@ -248,9 +255,11 @@ class ServingGateway:
         key = ("cbir-filter", repr(filter_spec))
         cached = self.cache.get(key)
         if cached is not None:
+            tracing.annotate(filter_mask_cached=True)
             return cached
         generation = self._generation
-        with self.metrics.timer("filter.resolve"):
+        with self.metrics.timer("filter.resolve"), \
+                tracing.span("filter.resolve"):
             row_filter = self.system.row_filter_for(filter_spec)
         if generation == self._generation:
             self.cache.put(key, row_filter)
@@ -279,15 +288,20 @@ class ServingGateway:
             return [], (radius if radius is not None else 0)
         if self._filter_plan(row_filter) == "pre":
             self.metrics.counter("filter.prefilter").increment()
+            tracing.annotate(filter_plan="pre")
+            trace = tracing.capture()
             job = (CodeQuery(code=code, radius=radius,
-                             allowed=row_filter.mask, filter_key=fingerprint)
+                             allowed=row_filter.mask, filter_key=fingerprint,
+                             trace=trace)
                    if radius is not None
                    else CodeQuery(code=code, k=k, allowed=row_filter.mask,
-                                  filter_key=fingerprint))
-            with self.metrics.timer("similar.execute"):
+                                  filter_key=fingerprint, trace=trace))
+            with self.metrics.timer("similar.execute"), \
+                    tracing.span("batch.wait", jobs=1):
                 results = self.batcher.submit(job).result()
             return results, self._used_radius(results, radius)
         self.metrics.counter("filter.postfilter").increment()
+        tracing.annotate(filter_plan="post")
         if radius is not None:
             results, _ = self._cached_code_query(code, k=None, radius=radius)
             kept = [r for r in results if r.item_id in row_filter.names]
@@ -319,12 +333,15 @@ class ServingGateway:
                 for code in codes]
         outcomes: "list[tuple[list, int] | None]" = [None] * len(codes)
         miss_positions: list[int] = []
-        for position, key in enumerate(keys):
-            cached = self.cache.get(key)
-            if cached is not None:
-                outcomes[position] = (list(cached[0]), cached[1])
-            else:
-                miss_positions.append(position)
+        with tracing.span("cache.lookup", queries=len(codes)) as lookup_span:
+            for position, key in enumerate(keys):
+                cached = self.cache.get(key)
+                if cached is not None:
+                    outcomes[position] = (list(cached[0]), cached[1])
+                else:
+                    miss_positions.append(position)
+            lookup_span.annotate(hits=len(codes) - len(miss_positions),
+                                 misses=len(miss_positions))
         if not miss_positions:
             return outcomes  # type: ignore[return-value]
         # Snapshot the generation BEFORE resolving the mask: a racing
@@ -338,15 +355,18 @@ class ServingGateway:
             # micro-batch groups by filter_key).
             self.metrics.counter("filter.prefilter").increment(
                 len(miss_positions))
+            tracing.annotate(filter_plan="pre")
+            trace = tracing.capture()
             jobs = [(CodeQuery(code=codes[p], radius=radius,
                                allowed=row_filter.mask,
-                               filter_key=fingerprint)
+                               filter_key=fingerprint, trace=trace)
                      if radius is not None
                      else CodeQuery(code=codes[p], k=k,
                                     allowed=row_filter.mask,
-                                    filter_key=fingerprint))
+                                    filter_key=fingerprint, trace=trace))
                     for p in miss_positions]
-            with self.metrics.timer("similar.execute"):
+            with self.metrics.timer("similar.execute"), \
+                    tracing.span("batch.wait", jobs=len(jobs)):
                 futures = self.batcher.submit_many(jobs)
                 resolved = [future.result() for future in futures]
             for position, results in zip(miss_positions, resolved):
@@ -375,7 +395,9 @@ class ServingGateway:
                                      k=None if radius is not None else k,
                                      radius=radius,
                                      filter_fingerprint=fingerprint)
-            cached = self.cache.get(key)
+            with tracing.span("cache.lookup") as lookup_span:
+                cached = self.cache.get(key)
+                lookup_span.annotate(hit=cached is not None)
             if cached is not None:
                 results, used = cached
                 return list(results), used
@@ -390,7 +412,9 @@ class ServingGateway:
                 self.cache.put(key, (tuple(results), used))
             return results, used
         key, job = self._code_key_and_job(code, k=k, radius=radius)
-        cached = self.cache.get(key)
+        with tracing.span("cache.lookup") as lookup_span:
+            cached = self.cache.get(key)
+            lookup_span.annotate(hit=cached is not None)
         if cached is not None:
             results, used = cached
             return list(results), used
@@ -398,7 +422,8 @@ class ServingGateway:
         # Queue wait + scan, as seen by the submitting thread; the scan
         # alone is recorded as similar.scan on the batch worker, so queue
         # time is the difference between the two.
-        with self.metrics.timer("similar.execute"):
+        with self.metrics.timer("similar.execute"), \
+                tracing.span("batch.wait", jobs=1):
             results = self.batcher.submit(job).result()
         used = self._used_radius(results, radius)
         if generation == self._generation:
@@ -406,9 +431,18 @@ class ServingGateway:
         return results, used
 
     def _execute_batch(self, jobs: "list[CodeQuery]") -> "list[list]":
-        """Batch executor: one scatter-gather scan for the whole batch."""
-        with self.metrics.timer("similar.scan"):
-            merged = self.index.search_batch(jobs)
+        """Batch executor: one scatter-gather scan for the whole batch.
+
+        Runs on the micro-batch worker thread, so the submitter's trace
+        context (carried by the first traced job) is re-attached here —
+        the batch-execution subtree stitches under that query's span while
+        coalesced riders simply share the scan.
+        """
+        ctx = next((job.trace for job in jobs if job.trace is not None), None)
+        with tracing.attach(ctx), \
+                tracing.span("batch.execute", batch_size=len(jobs)):
+            with self.metrics.timer("similar.scan"):
+                merged = self.index.search_batch(jobs)
         self.metrics.counter("batch.executed").increment()
         self.metrics.gauge("batch.last_size").set(len(jobs))
         return merged
@@ -427,16 +461,23 @@ class ServingGateway:
         """
         with self.metrics.timer("search.total"):
             key = canonical_spec_key(spec)
-            cached = self.cache.get(key)
+            with tracing.span("cache.lookup") as lookup_span:
+                cached = self.cache.get(key)
+                lookup_span.annotate(hit=cached is not None)
             if cached is not None:
+                tracing.annotate(plan=cached.plan,
+                                 candidates_examined=cached.candidates_examined)
                 return SearchResponse(
                     documents=copy.deepcopy(cached.documents),
                     total_matches=cached.total_matches,
                     plan=cached.plan,
                     candidates_examined=cached.candidates_examined)
             generation = self._generation
-            with self.metrics.timer("search.store"):
+            with self.metrics.timer("search.store"), \
+                    tracing.span("search.store") as store_span:
                 response = self.system.search_service.search(spec)
+            store_span.annotate(plan=response.plan,
+                                candidates_examined=response.candidates_examined)
             if generation == self._generation:
                 self.cache.put(key, SearchResponse(
                     documents=copy.deepcopy(response.documents),
@@ -526,7 +567,7 @@ class ServingGateway:
         """
         self._update_occupancy()
         snapshot = self.metrics.snapshot()
-        cache_stats = self.cache.stats.as_dict()
+        cache_stats = self.cache.stats_snapshot()
         batcher_stats = self.batcher.stats
         snapshot["cache"] = cache_stats
         snapshot["batcher"] = batcher_stats

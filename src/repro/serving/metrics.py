@@ -35,7 +35,8 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def increment(self, amount: int = 1) -> None:
         with self._lock:
@@ -51,7 +52,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -77,12 +79,14 @@ class LatencyHistogram:
     @property
     def count(self) -> int:
         """Lifetime number of recorded durations."""
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def total_seconds(self) -> float:
         """Lifetime sum of recorded durations."""
-        return self._total
+        with self._lock:
+            return self._total
 
     def record(self, seconds: float) -> None:
         with self._lock:
@@ -116,8 +120,11 @@ class LatencyHistogram:
         }
 
 
+_MetricKey = "tuple[str, tuple[tuple[str, str], ...]]"
+
+
 class MetricsRegistry:
-    """Named metrics for one serving gateway.
+    """Named (and optionally labeled) metrics for one serving gateway.
 
     Metrics are created lazily on first access, so instrumentation sites
     never need registration boilerplate::
@@ -126,61 +133,100 @@ class MetricsRegistry:
         with metrics.timer("similar.scan"):
             run_scan()
         metrics.counter("cache.hits").increment()
+        metrics.counter("node.failures", node="a").increment()
         print(metrics.snapshot())
+
+    A metric is identified by its name plus an optional label set
+    (Prometheus-style): ``counter("node.failures", node="a")`` and
+    ``node="b"`` are independent series of one family.  Unlabeled metrics
+    keep their historical place in the ``counters`` / ``gauges`` /
+    ``latency`` snapshot sections; labeled series are reported in the
+    ``families`` section (and with real labels in the Prometheus
+    exposition).
+
+    ``snapshot()`` reads every metric under its own lock after taking one
+    consistent view of the registry, so a scrape never observes a
+    pre-increment/post-increment mix of a pair updated under a shared lock
+    (e.g. cache hits exceeding lookups).
     """
 
     def __init__(self, *, histogram_window: int = 4096) -> None:
         self._lock = threading.Lock()
         self._histogram_window = histogram_window
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, LatencyHistogram] = {}
+        self._counters: "dict[_MetricKey, Counter]" = {}
+        self._gauges: "dict[_MetricKey, Gauge]" = {}
+        self._histograms: "dict[_MetricKey, LatencyHistogram]" = {}
         self._started_at = time.perf_counter()
 
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter()
-            return self._counters[name]
+    @staticmethod
+    def _key(name: str, labels: dict) -> "tuple[str, tuple]":
+        if not labels:
+            return (name, ())
+        return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
 
-    def gauge(self, name: str) -> Gauge:
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = self._key(name, labels)
         with self._lock:
-            if name not in self._gauges:
-                self._gauges[name] = Gauge()
-            return self._gauges[name]
+            if key not in self._counters:
+                self._counters[key] = Counter()
+            return self._counters[key]
 
-    def histogram(self, name: str) -> LatencyHistogram:
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = self._key(name, labels)
         with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = LatencyHistogram(self._histogram_window)
-            return self._histograms[name]
+            if key not in self._gauges:
+                self._gauges[key] = Gauge()
+            return self._gauges[key]
+
+    def histogram(self, name: str, **labels: object) -> LatencyHistogram:
+        key = self._key(name, labels)
+        with self._lock:
+            if key not in self._histograms:
+                self._histograms[key] = LatencyHistogram(self._histogram_window)
+            return self._histograms[key]
 
     @contextmanager
-    def timer(self, name: str):
+    def timer(self, name: str, **labels: object):
         """Record the duration of a ``with`` block into histogram ``name``."""
         start = time.perf_counter()
         try:
             yield
         finally:
-            self.histogram(name).record(time.perf_counter() - start)
+            self.histogram(name, **labels).record(time.perf_counter() - start)
 
     def family(self, prefix: str) -> dict:
         """Summaries of every histogram named ``<prefix>.<label>``, by label.
 
-        The labeled-series convention: per-entity latency series (one
-        histogram per federation node, for example) are registered as
-        ``prefix.label`` and read back as one ``{label: summary}`` family —
-        a dependency-free stand-in for Prometheus labels::
-
-            with metrics.timer(f"node.{node_name}"):
-                query(node)
-            metrics.family("node")   # {node_name: {count, p50_ms, ...}}
+        The historical name-mangled convention predating real labels:
+        per-entity series registered as ``prefix.label`` read back as one
+        ``{label: summary}`` family.  Kept for dotted-name series; new
+        instrumentation should prefer ``histogram(name, **labels)`` plus
+        :meth:`labeled_family`.
         """
         with self._lock:
-            histograms = {name: h for name, h in self._histograms.items()
-                          if name.startswith(prefix + ".")}
+            histograms = {name: h
+                          for (name, labels), h in self._histograms.items()
+                          if not labels and name.startswith(prefix + ".")}
         return {name[len(prefix) + 1:]: h.summary()
                 for name, h in sorted(histograms.items())}
+
+    def labeled_family(self, name: str, label: str) -> dict:
+        """``{label_value: summary}`` for histogram family ``name``.
+
+        Reads every series of the family that carries ``label``::
+
+            with metrics.timer("node.latency", node=node_name):
+                query(node)
+            metrics.labeled_family("node.latency", "node")
+            # {"a": {count, p50_ms, ...}, "b": {...}}
+        """
+        with self._lock:
+            series = [(dict(labels), h)
+                      for (n, labels), h in self._histograms.items()
+                      if n == name and labels]
+        return {labels[label]: h.summary()
+                for labels, h in sorted(series, key=lambda pair: pair[0].get(label, ""))
+                if label in labels}
 
     def qps(self, name: str) -> float:
         """Lifetime queries-per-second of histogram ``name``."""
@@ -189,20 +235,55 @@ class MetricsRegistry:
             return 0.0
         return self.histogram(name).count / elapsed
 
+    @staticmethod
+    def _labeled(entries: list) -> list:
+        entries.sort(key=lambda item: item[0])
+        return [{"labels": dict(labels), **payload} for labels, payload in entries]
+
     def snapshot(self) -> dict:
-        """One JSON-compatible dict with every metric's current state."""
+        """One JSON-compatible dict with every metric's current state.
+
+        The registry map is copied under the registry lock, then each
+        metric is read under its own lock — a single consistent scrape.
+        """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
         elapsed = time.perf_counter() - self._started_at
+        plain_counters, labeled_counters = {}, {}
+        for (name, labels), c in sorted(counters.items()):
+            if labels:
+                labeled_counters.setdefault(name, []).append(
+                    (labels, {"value": c.value}))
+            else:
+                plain_counters[name] = c.value
+        plain_gauges, labeled_gauges = {}, {}
+        for (name, labels), g in sorted(gauges.items()):
+            if labels:
+                labeled_gauges.setdefault(name, []).append(
+                    (labels, {"value": g.value}))
+            else:
+                plain_gauges[name] = g.value
+        plain_latency, labeled_latency = {}, {}
+        for (name, labels), h in sorted(histograms.items()):
+            summary = h.summary()
+            if labels:
+                labeled_latency.setdefault(name, []).append((labels, summary))
+            else:
+                qps = round(summary["count"] / elapsed, 3) if elapsed > 0 else 0.0
+                plain_latency[name] = {**summary, "qps": qps}
         return {
             "uptime_seconds": round(elapsed, 3),
-            "counters": {name: c.value for name, c in sorted(counters.items())},
-            "gauges": {name: g.value for name, g in sorted(gauges.items())},
-            "latency": {
-                name: {**h.summary(),
-                       "qps": round(h.count / elapsed, 3) if elapsed > 0 else 0.0}
-                for name, h in sorted(histograms.items())
+            "counters": plain_counters,
+            "gauges": plain_gauges,
+            "latency": plain_latency,
+            "families": {
+                "counters": {name: self._labeled(series)
+                             for name, series in labeled_counters.items()},
+                "gauges": {name: self._labeled(series)
+                           for name, series in labeled_gauges.items()},
+                "latency": {name: self._labeled(series)
+                            for name, series in labeled_latency.items()},
             },
         }

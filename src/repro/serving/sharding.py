@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
 from ..errors import EmptyIndexError, ValidationError
+from ..obs import tracing
 from ..index.hamming import (
     TombstoneSet,
     as_allowed_mask,
@@ -54,6 +55,12 @@ class CodeQuery:
     fingerprint — it joins the single-flight dedup key so two queries only
     share a scan when they share both code *and* filter, and it groups
     jobs within a micro-batch so one mask translation covers the group.
+
+    ``trace`` carries the submitting thread's captured trace context
+    across the micro-batch boundary (see :mod:`repro.obs.tracing`); it is
+    observability-only — excluded from ``dedup_key`` — so a traced and an
+    untraced query for the same code still share one scan and results stay
+    byte-identical whether or not tracing is on.
     """
 
     code: np.ndarray
@@ -61,6 +68,7 @@ class CodeQuery:
     radius: "int | None" = None
     allowed: "np.ndarray | None" = None
     filter_key: "Hashable | None" = None
+    trace: "object | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if (self.k is None) == (self.radius is None):
@@ -492,23 +500,37 @@ class ShardedHammingIndex:
         if queries.ndim != 2:
             raise ValidationError(f"queries must stack to (Q, W), got {queries.shape}")
 
-        def scan(shard) -> "list[tuple[np.ndarray, np.ndarray]]":
-            return shard.scan(queries, unique_jobs, self.scan_chunk_rows)
+        with tracing.span("shards.search", jobs=len(jobs),
+                          unique=len(unique_jobs), shards=len(shards)):
+            # Shard scans run on pool threads; hand the (possibly traced)
+            # context across explicitly so per-shard spans stitch in.
+            parent = tracing.capture()
 
-        if len(shards) == 1:
-            per_shard = [scan(shards[0])]
-        else:
-            per_shard = list(self._pool().map(scan, shards))
+            def scan(item) -> "list[tuple[np.ndarray, np.ndarray]]":
+                shard_index, shard = item
+                if parent is None:
+                    return shard.scan(queries, unique_jobs,
+                                      self.scan_chunk_rows)
+                with tracing.attach(parent), \
+                        tracing.span("shard.scan", shard=shard_index,
+                                     items=len(shard)):
+                    return shard.scan(queries, unique_jobs,
+                                      self.scan_chunk_rows)
 
-        merged: list[list[SearchResult]] = []
-        for i, job in enumerate(unique_jobs):
-            rows = np.concatenate([per_shard[s][i][0] for s in range(len(shards))])
-            dists = np.concatenate([per_shard[s][i][1] for s in range(len(shards))])
-            order = np.lexsort((rows, dists))
-            if job.k is not None:
-                order = order[:job.k]
-            merged.append([SearchResult(ids[int(rows[j])], int(dists[j]))
-                           for j in order])
+            if len(shards) == 1:
+                per_shard = [scan((0, shards[0]))]
+            else:
+                per_shard = list(self._pool().map(scan, enumerate(shards)))
+
+            merged: list[list[SearchResult]] = []
+            for i, job in enumerate(unique_jobs):
+                rows = np.concatenate([per_shard[s][i][0] for s in range(len(shards))])
+                dists = np.concatenate([per_shard[s][i][1] for s in range(len(shards))])
+                order = np.lexsort((rows, dists))
+                if job.k is not None:
+                    order = order[:job.k]
+                merged.append([SearchResult(ids[int(rows[j])], int(dists[j]))
+                               for j in order])
         # Duplicates get their own list (callers may truncate in place).
         out = []
         seen_slots: set[int] = set()

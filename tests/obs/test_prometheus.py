@@ -1,0 +1,150 @@
+"""Prometheus text exposition: grammar conformance and content mapping."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs import render_prometheus
+from repro.obs.prometheus import sanitize_name
+from repro.serving.metrics import MetricsRegistry
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) (.+)$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|summary|histogram|untyped)$")
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})"
+    r"(?:\{([a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*)\})?"
+    r" (-?(?:[0-9]*\.)?[0-9]+(?:[eE][-+]?[0-9]+)?|NaN|[-+]Inf)$")
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse the 0.0.4 text format; raises AssertionError on violations.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)]}}``.
+    """
+    families: dict[str, dict] = {}
+    current: "str | None" = None
+    for line in text.splitlines():
+        assert line == line.rstrip(), f"trailing whitespace: {line!r}"
+        if not line:
+            continue
+        help_match = _HELP_RE.match(line)
+        if help_match:
+            current = help_match.group(1)
+            assert current not in families, f"duplicate family {current}"
+            families[current] = {"type": None, "samples": []}
+            continue
+        type_match = _TYPE_RE.match(line)
+        if type_match:
+            assert type_match.group(1) == current, \
+                f"TYPE for {type_match.group(1)} outside its HELP block"
+            families[current]["type"] = type_match.group(2)
+            continue
+        assert not line.startswith("#"), f"unparseable comment: {line!r}"
+        sample = _SAMPLE_RE.match(line)
+        assert sample, f"unparseable sample line: {line!r}"
+        name = sample.group(1)
+        assert current is not None and name.startswith(current), \
+            f"sample {name} outside its family block ({current})"
+        suffix = name[len(current):]
+        assert suffix in ("", "_count", "_sum"), f"stray suffix {suffix!r}"
+        labels = {}
+        if sample.group(2):
+            for part in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                                   sample.group(2)):
+                labels[part[0]] = part[1]
+        families[current]["samples"].append((name, labels, float(sample.group(3))))
+    return families
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("cache.hits").increment(3)
+    registry.gauge("batch.queue_depth").set(2.0)
+    registry.histogram("similar").record(0.010)
+    registry.histogram("similar").record(0.030)
+    registry.counter("node.failures", node="a").increment()
+    registry.histogram("node.latency", node="a").record(0.005)
+    registry.histogram("node.latency", node="b").record(0.007)
+    return registry
+
+
+def test_exposition_parses_under_the_text_format_grammar(registry):
+    text = render_prometheus({"serving": registry.snapshot()})
+    assert text.endswith("\n")
+    families = parse_exposition(text)
+    assert families, "no families rendered"
+    for name, family in families.items():
+        assert family["type"] is not None, f"{name} has no TYPE"
+        assert family["samples"], f"{name} has no samples"
+
+
+def test_counters_are_total_suffixed_and_summaries_in_seconds(registry):
+    families = parse_exposition(
+        render_prometheus({"serving": registry.snapshot()}))
+    counter = families["repro_serving_cache_hits_total"]
+    assert counter["type"] == "counter"
+    assert counter["samples"][0][2] == 3.0
+
+    summary = families["repro_serving_similar_seconds"]
+    assert summary["type"] == "summary"
+    by_suffix = {}
+    for name, labels, value in summary["samples"]:
+        if name.endswith("_count"):
+            by_suffix["count"] = value
+        elif name.endswith("_sum"):
+            by_suffix["sum"] = value
+        else:
+            by_suffix[labels["quantile"]] = value
+    assert by_suffix["count"] == 2.0
+    assert by_suffix["sum"] == pytest.approx(0.040, abs=1e-4)
+    assert 0.0 < by_suffix["0.5"] <= by_suffix["0.95"] <= by_suffix["0.99"]
+    assert by_suffix["0.99"] <= 0.030 + 1e-9  # seconds, not milliseconds
+
+
+def test_labeled_families_render_with_label_sets(registry):
+    families = parse_exposition(
+        render_prometheus({"federation": registry.snapshot()}))
+    latency = families["repro_federation_node_latency_seconds"]
+    nodes = {labels.get("node") for _, labels, _ in latency["samples"]}
+    assert nodes == {"a", "b"}
+    failures = families["repro_federation_node_failures_total"]
+    assert failures["samples"] == [
+        ("repro_federation_node_failures_total", {"node": "a"}, 1.0)]
+
+
+def test_both_tiers_render_into_one_exposition(registry):
+    text = render_prometheus({"serving": registry.snapshot(),
+                              "federation": registry.snapshot()})
+    families = parse_exposition(text)
+    assert "repro_serving_cache_hits_total" in families
+    assert "repro_federation_cache_hits_total" in families
+
+
+def test_empty_payload_renders_empty_string():
+    assert render_prometheus({}) == ""
+    assert render_prometheus({"serving": None}) == ""
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("node.skipped", node='we"ird\nname\\x').increment()
+    text = render_prometheus({"federation": registry.snapshot()})
+    families = parse_exposition(text)
+    (_, labels, value), = families["repro_federation_node_skipped_total"]["samples"]
+    assert value == 1.0
+    assert labels["node"] == 'we\\"ird\\nname\\\\x'  # escaped wire form
+
+
+@pytest.mark.parametrize("raw, cleaned", [
+    ("cache.hits", "cache_hits"),
+    ("node latency%", "node_latency_"),
+    ("9lives", "_9lives"),
+    ("already_fine:ok", "already_fine:ok"),
+])
+def test_sanitize_name(raw, cleaned):
+    assert sanitize_name(raw) == cleaned
