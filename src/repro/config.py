@@ -278,6 +278,44 @@ class FederationConfig:
 
 
 @dataclass(frozen=True)
+class DurabilityConfig:
+    """Crash-safety settings (:mod:`repro.store.wal` /
+    :mod:`repro.store.snapshot` / :class:`~repro.earthqube.durability.DurableEarthQube`).
+
+    ``directory`` roots the WAL file and the checkpoint sidecars; ``None``
+    disables durability entirely (the seed behaviour).  ``fsync`` trades
+    write latency for crash-loss window:
+
+    * ``"always"`` — fsync every WAL record; nothing acknowledged is lost,
+    * ``"interval"`` — fsync every ``fsync_interval`` records (default);
+      a crash loses at most the un-synced tail the OS had not flushed,
+    * ``"off"`` — never fsync from the WAL (benchmarks only).
+
+    ``auto_checkpoint_records`` triggers a checkpoint automatically once
+    the WAL holds that many records (0 = manual checkpoints only).
+    ``verify_on_load`` re-extracts a sample of ``verify_sample`` patches on
+    recovery and checks their hash codes against the snapshot matrix — a
+    debug oracle, off by default because it re-runs feature extraction.
+    """
+
+    directory: "str | None" = None
+    fsync: str = "interval"
+    fsync_interval: int = 8
+    auto_checkpoint_records: int = 0
+    verify_on_load: bool = False
+    verify_sample: int = 16
+
+    def __post_init__(self) -> None:
+        _require(self.fsync in ("always", "interval", "off"),
+                 f"fsync must be 'always', 'interval', or 'off', got {self.fsync!r}")
+        _require(self.fsync_interval >= 1,
+                 f"fsync_interval must be >= 1, got {self.fsync_interval}")
+        _require(self.auto_checkpoint_records >= 0,
+                 "auto_checkpoint_records must be >= 0")
+        _require(self.verify_sample >= 1, "verify_sample must be >= 1")
+
+
+@dataclass(frozen=True)
 class GeoIndexConfig:
     """Geohash 2D-index settings for the document store (data tier)."""
 
@@ -300,6 +338,7 @@ class EarthQubeConfig:
     geo_index: GeoIndexConfig = field(default_factory=GeoIndexConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     max_rendered_images: int = 1000
     cart_page_limit: int = 50
 

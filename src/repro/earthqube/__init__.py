@@ -23,6 +23,7 @@ is the back-end server plus headless equivalents of every UI behaviour:
 from .api import EarthQubeAPI, parse_query_request
 from .cart import DownloadCart
 from .cbir import CBIRService, RowFilter, SimilarityResponse
+from .durability import DurableEarthQube
 from .feedback import FeedbackService
 from .refinement import RelevanceFeedbackSession, RocchioWeights
 from .ingest import ingest_archive, metadata_document
@@ -36,6 +37,7 @@ from .statistics import LabelStatistics, label_statistics
 
 __all__ = [
     "EarthQube",
+    "DurableEarthQube",
     "EarthQubeAPI",
     "parse_query_request",
     "RelevanceFeedbackSession",

@@ -389,6 +389,36 @@ class EarthQubeAPI:
             return render_prometheus(payload)
         return payload
 
+    def admin_checkpoint(self) -> dict:
+        """POST /admin/checkpoint — checkpoint the durable node now.
+
+        Writes an atomic snapshot (document store + packed code matrix +
+        alive mask) covering the current WAL sequence, then truncates the
+        covered log prefix.  Requires a local system with the durability
+        tier attached (:class:`~repro.earthqube.durability.DurableEarthQube`);
+        an un-durable node answers with a structured error.
+        """
+        try:
+            system = self._require_system()
+            durability = system.durability
+            if durability is None:
+                raise ValidationError(
+                    "this node has no durability tier; attach a "
+                    "DurableEarthQube to enable checkpoints")
+            info = durability.checkpoint()
+        except ReproError as exc:
+            return self._error(exc)
+        return {
+            "ok": True,
+            "checkpoint": {
+                "wal_seq": info.wal_seq,
+                "num_rows": info.num_rows,
+                "num_words": info.num_words,
+                "created_at": info.created_at,
+            },
+            "wal_records": durability.wal.record_count,
+        }
+
     def health(self) -> dict:
         """GET /health — liveness: the process answers requests at all."""
         return {"ok": True, "status": "alive"}
@@ -400,6 +430,11 @@ class EarthQubeAPI:
         image; a federation is ready when it has registered nodes and at
         least one circuit is not open.  ``ready`` is the conjunction, so a
         load balancer can gate traffic on this single flag.
+
+        A durable node additionally reports its durability state — last
+        checkpoint sequence, WAL length, and whether a recovery replay is
+        in progress (which gates readiness, so an orchestrator holds
+        traffic until the replay lands).
         """
         ready = True
         payload: dict = {"ok": True, "system": None, "federation": None}
@@ -411,6 +446,18 @@ class EarthQubeAPI:
                 "serving_enabled": self.system.gateway is not None,
             }
             ready = ready and indexed > 0
+            durability = self.system.durability
+            if durability is not None:
+                info = durability.durability_info()
+                payload["system"]["durability"] = {
+                    "last_checkpoint_seq": info["last_checkpoint_seq"],
+                    "snapshot_age_seconds": info["snapshot_age_seconds"],
+                    "wal_records": info["wal_records"],
+                    "wal_last_seq": info["wal_last_seq"],
+                    "last_applied_seq": info["last_applied_seq"],
+                    "recovery_in_progress": info["recovery_in_progress"],
+                }
+                ready = ready and not info["recovery_in_progress"]
         if self.federation is not None:
             nodes = self.federation.nodes()
             open_circuits = sum(1 for entry in nodes

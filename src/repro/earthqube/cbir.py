@@ -296,6 +296,75 @@ class CBIRService:
         self._index.build(list(self._names), self._codes)
 
     # ------------------------------------------------------------------ #
+    # Durability: physical-state capture and restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> dict:
+        """Row-aligned physical state for a checkpoint.
+
+        Unlike :meth:`indexed_items` this does **not** compact: the
+        checkpoint captures the exact physical layout — tombstoned rows in
+        place, marked dead in the ``alive`` mask — so a restored node
+        reproduces pre-crash query results byte-for-byte, including the
+        (distance, insertion row) tie-break.  Pending online adds are
+        folded in (cheap; one vstack).
+
+        Returns ``{"names": list[str], "codes": (N, W) uint64,
+        "alive": (N,) bool}``, all row-aligned.
+        """
+        if self._pending:
+            self._codes = np.vstack([self._codes, np.stack(self._pending)])
+            self._pending = []
+        alive = np.ones(len(self._names), dtype=bool)
+        for row in self._tombstones.dead:
+            alive[row] = False
+        return {"names": list(self._names), "codes": self._codes,
+                "alive": alive}
+
+    def restore_state(self, names: Sequence[str], codes: np.ndarray,
+                      alive: np.ndarray) -> None:
+        """Rebuild from a checkpoint's physical state (no re-hashing).
+
+        ``codes`` may be an mmapped read-only matrix straight from a
+        snapshot sidecar — this is what makes restart O(corpus read)
+        instead of O(re-embed + rebuild).  A name may appear on several
+        rows (an updated image keeps its dead predecessor row until
+        compaction) but at most the *last* occurrence may be alive; the
+        name maps are rebuilt from alive rows only.
+        """
+        codes = np.asarray(codes, dtype=np.uint64)
+        alive = np.asarray(alive, dtype=bool)
+        names = list(names)
+        words = -(-self.hasher.num_bits // 64)
+        if codes.ndim != 2 or codes.shape != (len(names), words):
+            raise ValidationError(
+                f"restore needs ({len(names)}, {words}) codes, got "
+                f"{codes.shape}")
+        if alive.shape != (len(names),):
+            raise ValidationError(
+                f"alive mask shape {alive.shape} must be ({len(names)},)")
+        row_by_name: dict[str, int] = {}
+        code_by_name: dict[str, np.ndarray] = {}
+        for row, name in enumerate(names):
+            if alive[row]:
+                if name in row_by_name:
+                    raise ValidationError(
+                        f"snapshot has {name!r} alive on rows "
+                        f"{row_by_name[name]} and {row}")
+                row_by_name[name] = row
+                code_by_name[name] = codes[row]
+        self._names = names
+        self._codes = codes
+        self._pending = []
+        self._row_by_name = row_by_name
+        self._code_by_name = code_by_name
+        self._tombstones.clear()
+        dead_rows = np.flatnonzero(~alive)
+        for row in dead_rows:
+            self._tombstones.mark(int(row))
+        self._index.restore(names, codes, dead_rows)
+
+    # ------------------------------------------------------------------ #
     # Filters
     # ------------------------------------------------------------------ #
 

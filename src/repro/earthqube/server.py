@@ -59,6 +59,10 @@ class EarthQube:
         # The optional serving tier (sharding + batching + caching); routed
         # to by search/similar_images when enabled.  See repro.serving.
         self.gateway = None
+        # The optional durability tier; set by DurableEarthQube when it
+        # attaches (WAL + checkpoints + crash recovery).  See
+        # repro.earthqube.durability.
+        self.durability = None
         # End-to-end query tracing + slow-query log + structured logs.  A
         # request on a thread that already carries a trace (a federation
         # scatter into this node) degrades to a child span, stitching the
@@ -105,6 +109,20 @@ class EarthQube:
             system.enable_serving()
         log("ready")
         return system
+
+    def attach_database(self, db: Database) -> None:
+        """Swap in a restored database and rewire every service bound to it.
+
+        The durability tier's recovery path replaces the document store
+        with one rebuilt from a checkpoint; the search/feedback services
+        hold a reference to the old database and must be rebound in the
+        same step or metadata queries would keep answering from pre-crash
+        state.
+        """
+        self.db = db
+        self.search_service = SearchService(db, self.codec)
+        self.feedback_service = FeedbackService(db)
+        self.cbir.spec_resolver = self.row_filter_for
 
     # ------------------------------------------------------------------ #
     # Serving tier (repro.serving): concurrent sharded query execution

@@ -49,6 +49,19 @@ class IndexError_(StoreError):
     """
 
 
+class DurabilityError(StoreError):
+    """Crash-safety machinery failure (WAL, snapshot, recovery)."""
+
+
+class WALCorruptionError(DurabilityError):
+    """A write-ahead log record failed its checksum *mid-log*.
+
+    A torn final record is expected after a crash and silently dropped;
+    corruption with valid data after it means the log was damaged at rest
+    and replay must not guess — it stops with this error.
+    """
+
+
 class ArchiveError(ReproError):
     """Errors in synthetic archive construction or access."""
 

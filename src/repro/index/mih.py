@@ -303,6 +303,25 @@ class MultiIndexHashing:
         for table, (start, stop) in zip(self._tables, self._spans):
             table.rebuild(_substring_keys(codes, start, stop))
 
+    def restore(self, item_ids: Iterable[Hashable], codes: np.ndarray,
+                dead_rows: Iterable[int]) -> None:
+        """Rebuild from checkpointed *physical* state, tombstones included.
+
+        The durability tier persists the full row-aligned code matrix plus
+        the alive mask; restoring must reproduce the exact physical layout
+        (dead rows occupy their original positions) so recovered query
+        results are byte-identical to the pre-crash node, including the
+        (distance, insertion row) tie-break.  ``codes`` may be an mmapped
+        read-only array — it is only copied if a later ingest appends.
+        """
+        self.build(item_ids, codes)
+        for row in dead_rows:
+            row = int(row)
+            if not 0 <= row < len(self._ids):
+                raise ValidationError(
+                    f"dead row {row} out of range for {len(self._ids)} rows")
+            self._tombstones.mark(row)
+
     def add(self, item_id: Hashable, code: np.ndarray) -> None:
         """Incrementally index one new item (online ingestion path).
 

@@ -545,6 +545,20 @@ class ServingGateway:
         dropped = self.cache.invalidate()
         self.metrics.counter(f"{reason}.cache_dropped").increment(dropped)
 
+    def restore_generation(self, floor: int) -> None:
+        """Crash-recovery: fast-forward the generation past a pre-crash one.
+
+        A recovered node rebuilds its gateway from scratch (empty cache),
+        but any client that captured a generation number before the crash
+        must see it strictly superseded — generations stay monotone across
+        restarts.  The cache is dropped too, for the same reason
+        :meth:`_invalidate` drops it: nothing computed before the restore
+        may be served after it.
+        """
+        with self._generation_lock:
+            self._generation = max(self._generation, int(floor)) + 1
+        self.cache.invalidate()
+
     def _update_occupancy(self) -> None:
         for i, size in enumerate(self.index.shard_sizes):
             self.metrics.gauge(f"shard.{i}.items").set(size)

@@ -10,14 +10,21 @@ This package reproduces those mechanisms:
 * a Mongo-style query language (``$eq``, ``$in``, ``$all``, ``$and``,
   ``$geoIntersects`` ...) evaluated by :mod:`repro.store.matcher`,
 * hash and unique indexes plus a geohash-backed 2D index
-  (:mod:`repro.store.indexes`), selected by a small query planner.
+  (:mod:`repro.store.indexes`), selected by a small query planner,
+* crash-safe durability: a write-ahead log (:mod:`repro.store.wal`),
+  atomic incremental checkpoints (:mod:`repro.store.snapshot`), and a
+  deterministic crash-point fault-injection harness
+  (:mod:`repro.store.faults`).
 """
 
 from .collection import Collection, FindResult
 from .columnar import SortedDateColumn, iso_to_int64
 from .database import Database
+from .faults import CRASH_POINTS, CrashPoint, FaultInjector
 from .indexes import GeoHashIndex, HashIndex, UniqueIndex
 from .matcher import matches
+from .snapshot import LoadedSnapshot, SnapshotInfo, SnapshotManager
+from .wal import WALRecord, WriteAheadLog
 
 __all__ = [
     "Database",
@@ -29,4 +36,12 @@ __all__ = [
     "SortedDateColumn",
     "iso_to_int64",
     "matches",
+    "WriteAheadLog",
+    "WALRecord",
+    "SnapshotManager",
+    "SnapshotInfo",
+    "LoadedSnapshot",
+    "FaultInjector",
+    "CrashPoint",
+    "CRASH_POINTS",
 ]

@@ -84,7 +84,7 @@ def test_snapshot_is_plain_json(tmp_path, code_db):
     save_database(code_db, path)
     with open(path, encoding="utf-8") as handle:
         snapshot = json.load(handle)
-    assert snapshot["format_version"] == 1
+    assert snapshot["format_version"] == 2
     document = snapshot["collections"]["codes"]["documents"][0]
     assert set(document["code"]) == {"__bytes__"}  # base64-wrapped bytes
 
@@ -126,6 +126,112 @@ def test_nested_bytes_round_trip(tmp_path):
     path = tmp_path / "binary.json"
     save_database(db, path)
     assert load_database(path)["blobs"].get("b0") == document
+
+
+def test_reserved_marker_keys_round_trip(tmp_path):
+    """Regression: user dicts whose keys collide with the codec's markers.
+
+    ``{"__bytes__": ...}`` used to be ambiguous — a user document shaped
+    like the codec's own bytes wrapper was decoded *as* bytes.  Format
+    version 2 escapes reserved keys, so these documents survive verbatim.
+    """
+    db = Database("tricky")
+    collection = db.create_collection("docs", primary_key="name")
+    documents = [
+        {"name": "d0", "payload": {"__bytes__": "not base64 at all"}},
+        {"name": "d1", "payload": {"__bytes__": b"real bytes", "n": 1}},
+        {"name": "d2", "payload": {"__esc__": True, "value": {"x": 2}}},
+        {"name": "d3", "nested": [{"__bytes__": 7}, b"\x00\x01"]},
+    ]
+    for document in documents:
+        collection.insert_one(document)
+    path = tmp_path / "tricky.json"
+    save_database(db, path)
+    loaded = load_database(path)
+    for document in documents:
+        assert loaded["docs"].get(document["name"]) == document
+    # The wrapper itself still works: real bytes stay bytes.
+    assert isinstance(loaded["docs"].get("d1")["payload"]["__bytes__"], bytes)
+
+
+def test_version_1_snapshots_still_load(tmp_path):
+    """Snapshots written before the escape existed stay readable."""
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps({
+        "format_version": 1,
+        "name": "old",
+        "collections": {
+            "docs": {
+                "indexes": {"primary_key": "name", "unique": [],
+                            "hash": [], "geo": {}, "date_columns": []},
+                "documents": [{"name": "a",
+                               "code": {"__bytes__": "AAE="}}],
+            },
+        },
+    }))
+    loaded = load_database(path)
+    assert loaded["docs"].get("a")["code"] == b"\x00\x01"
+
+
+def test_date_columns_round_trip_scan_identically(tmp_path):
+    """Satellite: a date column mid-churn (pending adds + tombstones not
+    yet compacted) must save/load to a collection that answers range
+    queries identically to the live one, through the columnar plan."""
+    db = Database("dated")
+    collection = db.create_collection("events", primary_key="name")
+    collection.create_date_column("when")
+    rng = np.random.default_rng(11)
+    for i in range(40):
+        collection.insert_one({
+            "name": f"e{i}",
+            "when": f"2024-{rng.integers(1, 13):02d}-{rng.integers(1, 29):02d}",
+        })
+    # Churn *after* the initial build so the column carries live overflow
+    # state (pending list + tombstones) at save time.
+    for i in range(0, 12, 2):
+        collection.delete_one({"name": f"e{i}"})
+    for i in range(20, 26):
+        collection.update_one({"name": f"e{i}"},
+                              {"$set": {"when": "2025-01-15"}})
+    collection.insert_one({"name": "late", "when": "2025-06-30"})
+
+    path = tmp_path / "dated.json"
+    save_database(db, path)
+    loaded = load_database(path)
+
+    for query in ({"when": {"$gte": "2024-06-01", "$lt": "2025-01-01"}},
+                  {"when": {"$gte": "2025-01-01"}},
+                  {"when": {"$lt": "2024-03-01"}}):
+        live = collection.find(query, sort="name")
+        restored = loaded["events"].find(query, sort="name")
+        assert restored.documents == live.documents
+        # The rebuilt collection kept the column definition: the planner
+        # answers through it, not via full scan.
+        assert "date_column:when" in restored.plan
+
+
+def test_save_failure_leaves_original_intact(tmp_path, code_db, monkeypatch):
+    """Satellite: save_database stages + os.replace — a crash mid-save can
+    never truncate or tear the previous snapshot."""
+    import os as os_module
+
+    path = tmp_path / "node.json"
+    save_database(code_db, path)
+    before = path.read_bytes()
+
+    real_replace = os_module.replace
+
+    def failing_replace(src, dst):
+        raise OSError("simulated crash before commit")
+
+    monkeypatch.setattr("repro.store.persistence.os.replace", failing_replace)
+    with pytest.raises(OSError):
+        save_database(code_db, path)
+    monkeypatch.setattr("repro.store.persistence.os.replace", real_replace)
+
+    assert path.read_bytes() == before          # old content untouched
+    assert load_database(path)["codes"].get("patch_0") is not None
+    assert not list(tmp_path.glob("*.tmp"))     # staged temp cleaned up
 
 
 def test_missing_snapshot_raises(tmp_path):
