@@ -1,0 +1,179 @@
+"""Diff freshly generated ``BENCH_*.json`` reports against committed baselines.
+
+The repo commits one baseline JSON per benchmark (``BENCH_*.json`` at the
+repo root); CI regenerates the same reports in ``--smoke`` mode and this
+script compares the two, so a change that silently craters throughput
+fails the pipeline instead of landing.
+
+Two kinds of comparison:
+
+* **throughput** — every numeric leaf whose key looks like a rate
+  (``qps``, ``*_per_second``) or a win (``speedup``): fresh must not fall
+  more than ``--threshold`` percent (default 25) below the baseline.
+  Throughput is machine- and corpus-size-dependent, so these leaves are
+  only compared when both reports ran the *same* benchmark configuration
+  (the ``config`` sections match); otherwise they are reported as skipped.
+* **invariants** — boolean leaves named ``identical*`` or
+  ``*_correct`` must never flip from true to false, whatever the
+  configuration: byte-identity and ordering checks hold at every scale.
+
+Exit code 0 = no regressions (skips allowed), 1 = at least one regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke \
+        --out fresh/BENCH_observability.json
+    python benchmarks/compare_bench.py --fresh fresh --baseline . --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Numeric leaves treated as throughput (higher is better).
+_RATE_KEYS = ("qps",)
+_RATE_SUFFIXES = ("_per_second", "speedup")
+
+#: Boolean leaves treated as must-not-flip invariants.
+_INVARIANT_PREFIXES = ("identical",)
+_INVARIANT_SUFFIXES = ("_correct", "identical_to_oracle",
+                       "identical_to_rebuild", "identical_results")
+
+
+def _is_rate_key(key: str) -> bool:
+    return key in _RATE_KEYS or key.endswith(_RATE_SUFFIXES)
+
+
+def _is_invariant_key(key: str) -> bool:
+    return key.startswith(_INVARIANT_PREFIXES) or \
+        key.endswith(_INVARIANT_SUFFIXES)
+
+
+def _leaves(node, path: str = "") -> "dict[str, object]":
+    """Flatten a JSON tree into ``{dotted.path: leaf}``."""
+    out: "dict[str, object]" = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(_leaves(value, f"{path}.{key}" if path else str(key)))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            out.update(_leaves(value, f"{path}[{i}]"))
+    else:
+        out[path] = node
+    return out
+
+
+def compare_report(name: str, baseline: dict, fresh: dict, *,
+                   threshold_pct: float) -> "tuple[list, list, list]":
+    """Compare one benchmark pair; returns (regressions, ok, skipped)."""
+    regressions, ok, skipped = [], [], []
+    comparable = baseline.get("config") == fresh.get("config")
+    baseline_leaves = _leaves(baseline)
+    fresh_leaves = _leaves(fresh)
+    for path, base_value in sorted(baseline_leaves.items()):
+        leaf_key = path.rsplit(".", 1)[-1]
+        fresh_value = fresh_leaves.get(path)
+        if _is_invariant_key(leaf_key) and base_value is True:
+            if fresh_value is False:
+                regressions.append(
+                    f"{name}: invariant {path} flipped true -> false")
+            else:
+                ok.append(f"{name}: invariant {path} holds")
+            continue
+        if not _is_rate_key(leaf_key):
+            continue
+        if not isinstance(base_value, (int, float)) or \
+                not isinstance(fresh_value, (int, float)):
+            skipped.append(f"{name}: {path} missing from fresh report")
+            continue
+        if not comparable:
+            skipped.append(
+                f"{name}: {path} (configs differ: baseline vs smoke run)")
+            continue
+        if base_value <= 0:
+            continue
+        drop_pct = 100.0 * (base_value - fresh_value) / base_value
+        if drop_pct > threshold_pct:
+            regressions.append(
+                f"{name}: {path} regressed {drop_pct:.1f}% "
+                f"({base_value} -> {fresh_value}, "
+                f"threshold {threshold_pct:g}%)")
+        else:
+            ok.append(f"{name}: {path} {base_value} -> {fresh_value} "
+                      f"({-drop_pct:+.1f}%)")
+    return regressions, ok, skipped
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare fresh BENCH_*.json reports against baselines")
+    parser.add_argument("--baseline", default=".",
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding freshly generated reports")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="maximum tolerated qps/speedup drop, percent "
+                             "(default 25)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fresh reports come from --smoke runs: "
+                             "throughput leaves with mismatched configs are "
+                             "skipped rather than failed")
+    parser.add_argument("--require", nargs="*", default=None,
+                        help="benchmark names that must be present fresh "
+                             "(default: every committed baseline)")
+    args = parser.parse_args(argv)
+
+    baseline_dir, fresh_dir = Path(args.baseline), Path(args.fresh)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"compare_bench: no BENCH_*.json baselines in {baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    all_regressions, compared = [], 0
+    for baseline_path in baselines:
+        name = baseline_path.stem
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            if args.require is not None and name not in args.require:
+                print(f"compare_bench: {name}: no fresh report, skipped")
+                continue
+            if args.require is None:
+                print(f"compare_bench: {name}: no fresh report, skipped")
+                continue
+            all_regressions.append(f"{name}: required fresh report missing")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        if not args.smoke and baseline.get("config") != fresh.get("config"):
+            print(f"compare_bench: {name}: configs differ outside --smoke "
+                  f"mode; throughput comparison skipped")
+        regressions, ok, skipped = compare_report(
+            name, baseline, fresh, threshold_pct=args.threshold)
+        compared += 1
+        for line in ok:
+            print(f"compare_bench: ok: {line}")
+        for line in skipped:
+            print(f"compare_bench: skip: {line}")
+        for line in regressions:
+            print(f"compare_bench: REGRESSION: {line}", file=sys.stderr)
+        all_regressions.extend(regressions)
+
+    if args.require:
+        missing = [name for name in args.require
+                   if not (fresh_dir / f"{name}.json").exists()]
+        for name in missing:
+            if f"{name}: required fresh report missing" not in all_regressions:
+                all_regressions.append(
+                    f"{name}: required fresh report missing")
+
+    print(f"compare_bench: {compared} report(s) compared, "
+          f"{len(all_regressions)} regression(s)")
+    return 1 if all_regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -220,13 +220,26 @@ class ObsConfig:
       the default keeps tracing always-on at low cost,
     * ``slow_threshold_ms`` / ``slow_buffer_size`` — any request slower
       than the threshold is recorded in a bounded ring buffer served at
-      ``GET /debug/slow_queries`` (with its span tree when sampled).
+      ``GET /debug/slow_queries`` (with its span tree when sampled),
+    * ``cost_tracking`` — attach operator cost counters (rows scanned,
+      buckets probed, candidates verified, ...) and per-stage self-times
+      to *every* root request via a cost-only ledger even when the request
+      is not credit-sampled, so slow queries and the workload statistics
+      are always attributed,
+    * ``workload_enabled`` / ``workload_window`` — aggregate per-query-
+      family (backend x strategy x selectivity-bucket) cost and latency
+      histograms, served at ``GET /debug/workload`` and persistable as a
+      JSON workload-profile sidecar at ``workload_profile_path``.
     """
 
     enabled: bool = True
     sample_rate: float = 0.1
     slow_threshold_ms: float = 100.0
     slow_buffer_size: int = 256
+    cost_tracking: bool = True
+    workload_enabled: bool = True
+    workload_window: int = 512
+    workload_profile_path: "str | None" = None
 
     def __post_init__(self) -> None:
         _require(0.0 <= self.sample_rate <= 1.0,
@@ -234,6 +247,7 @@ class ObsConfig:
         _require(self.slow_threshold_ms >= 0.0,
                  "slow_threshold_ms must be >= 0")
         _require(self.slow_buffer_size >= 1, "slow_buffer_size must be >= 1")
+        _require(self.workload_window >= 1, "workload_window must be >= 1")
 
 
 @dataclass(frozen=True)

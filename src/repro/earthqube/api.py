@@ -144,6 +144,22 @@ class EarthQubeAPI:
         return payload
 
     @staticmethod
+    def _attach_costs(explain: dict, request_ctx) -> dict:
+        """Add the request's cost profile to an ``explain=true`` section.
+
+        ``costs`` totals the typed operator counters (rows scanned, buckets
+        probed, candidates verified, ...); ``stages`` attributes them to
+        the operator stages with per-stage self-time.  Both come from the
+        span tree when traced, from the cost-only ledger otherwise, and
+        are omitted only when cost tracking is disabled.
+        """
+        profile = request_ctx.profile()
+        if profile is not None:
+            explain["costs"] = profile["costs"]
+            explain["stages"] = profile["stages"]
+        return explain
+
+    @staticmethod
     def _parse_filter(payload: "Mapping[str, Any] | None") -> "QuerySpec | None":
         """Parse the optional metadata filter of a CBIR request.
 
@@ -194,6 +210,7 @@ class EarthQubeAPI:
                 "plan": response.plan,
                 "candidates_examined": response.candidates_examined,
             }
+            self._attach_costs(payload["explain"], ctx)
         if meta is not None:
             payload["federation"] = meta.as_dict()
         return self._attach_trace(payload, ctx)
@@ -205,6 +222,8 @@ class EarthQubeAPI:
         a bare name resolves to the first node that indexes it.  An
         optional ``filter`` object (search-request schema) restricts the
         ranking to metadata-matching images (filtered similarity).
+        ``explain=true`` adds an ``explain`` section with the request's
+        operator cost counters and per-stage self-times.
         """
         try:
             if not isinstance(request, Mapping) or "name" not in request:
@@ -213,6 +232,7 @@ class EarthQubeAPI:
             k = request.get("k", 10)
             radius = request.get("radius")
             trace = bool(request.get("trace", False))
+            explain = bool(request.get("explain", False))
             kwargs = ({"k": None, "radius": int(radius)} if radius is not None
                       else {"k": int(k)})
             kwargs["filter"] = self._parse_filter(request.get("filter"))
@@ -232,6 +252,8 @@ class EarthQubeAPI:
             "results": [{"name": str(r.item_id), "distance": r.distance}
                         for r in result.results],
         }
+        if explain:
+            payload["explain"] = self._attach_costs({}, ctx)
         if meta is not None:
             payload["federation"] = meta.as_dict()
         return self._attach_trace(payload, ctx)
@@ -256,6 +278,7 @@ class EarthQubeAPI:
             k = request.get("k", 10)
             radius = request.get("radius")
             trace = bool(request.get("trace", False))
+            explain = bool(request.get("explain", False))
             kwargs = ({"k": None, "radius": int(radius)} if radius is not None
                       else {"k": int(k)})
             kwargs["filter"] = self._parse_filter(request.get("filter"))
@@ -281,6 +304,8 @@ class EarthQubeAPI:
                             for r in response.results],
             } for response in responses],
         }
+        if explain:
+            payload["explain"] = self._attach_costs({}, ctx)
         if meta is not None:
             payload["federation"] = meta.as_dict()
         return self._attach_trace(payload, ctx)
@@ -371,11 +396,15 @@ class EarthQubeAPI:
         serving tier is enabled (``null`` otherwise).  ``federation``:
         scatter-gather latency with the per-node series when federated.
 
+        ``workload``: per-query-family (backend × strategy × selectivity)
+        latency and cost-counter aggregates when workload statistics are
+        enabled.
+
         ``GET /metrics?format=prometheus`` returns the same snapshot as
         Prometheus text exposition (version 0.0.4) instead of JSON:
         counters as ``_total`` series, latency summaries in seconds with
-        quantile labels, labeled families (e.g. per-node latency) with
-        their label sets.
+        quantile labels plus cumulative ``_hist_seconds`` bucket series,
+        labeled families (e.g. per-node latency) with their label sets.
         """
         if format not in ("json", "prometheus"):
             return self._error(ValidationError(
@@ -385,6 +414,9 @@ class EarthQubeAPI:
             payload["serving"] = self.system.gateway.metrics_snapshot()
         if self.federation is not None:
             payload["federation"] = self.federation.metrics_snapshot()
+        workload = self._obs().workload
+        if workload is not None:
+            payload["workload"] = workload.metrics_snapshot()
         if format == "prometheus":
             return render_prometheus(payload)
         return payload
@@ -492,3 +524,20 @@ class EarthQubeAPI:
                 "capacity": info["capacity"],
                 "recorded_total": info["recorded_total"],
                 "count": len(entries), "entries": entries}
+
+    def workload(self) -> dict:
+        """GET /debug/workload — the workload-statistics profile.
+
+        One entry per query family — ``(backend, strategy,
+        filter-selectivity bucket)`` — with its latency percentile summary
+        and per-cost-counter aggregates (total / mean / max / power-of-two
+        histogram).  Every root request lands here, sampled or not, so the
+        profile converges on real traffic; the same document persists as
+        the workload-profile JSON sidecar.
+        """
+        profile = self._obs().workload_profile()
+        if profile is None:
+            return self._error(ValidationError(
+                "workload statistics are disabled "
+                "(ObsConfig.workload_enabled=false)"))
+        return {"ok": True, **profile}

@@ -600,6 +600,7 @@ class CBIRService:
                    strategy: str = "auto",
                    ) -> "tuple[list[list[SearchResult]], list[int]]":
         self._validate_params(k, radius)
+        tracing.annotate(backend="mih")
         row_filter = self._coerce_filter(filter)
         if row_filter is None:
             if radius is not None:
@@ -610,7 +611,10 @@ class CBIRService:
             batches = [[] for _ in range(codes.shape[0])]
         else:
             mode = self._filter_mode(row_filter, strategy)
-            tracing.annotate(filter_mode=mode, filter_count=row_filter.count)
+            tracing.annotate(
+                filter_mode=mode, filter_count=row_filter.count,
+                strategy="prefilter" if mode == "pre" else "postfilter",
+                selectivity=row_filter.selectivity(len(self._names)))
             if radius is not None:
                 if mode == "pre":
                     batches = self._index.search_radius_batch(
@@ -646,6 +650,7 @@ class CBIRService:
              radius: "int | None", filter: object = None,
              strategy: str = "auto") -> tuple[list[SearchResult], int]:
         self._validate_params(k, radius)
+        tracing.annotate(backend="mih")
         row_filter = self._coerce_filter(filter)
         if row_filter is None:
             if radius is not None:
@@ -655,7 +660,10 @@ class CBIRService:
         if row_filter.count == 0:
             return [], self._used_radius([], radius)
         mode = self._filter_mode(row_filter, strategy)
-        tracing.annotate(filter_mode=mode, filter_count=row_filter.count)
+        tracing.annotate(
+            filter_mode=mode, filter_count=row_filter.count,
+            strategy="prefilter" if mode == "pre" else "postfilter",
+            selectivity=row_filter.selectivity(len(self._names)))
         if radius is not None:
             if mode == "pre":
                 results = self._index.search_radius(

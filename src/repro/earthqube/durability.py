@@ -307,6 +307,8 @@ class DurableEarthQube:
                         checkpoint_seq = snapshot.info.wal_seq
                         load_span.annotate(rows=snapshot.info.num_rows,
                                            wal_seq=checkpoint_seq)
+                        load_span.add_cost(
+                            codes_restored=snapshot.info.num_rows)
                 replayed, skipped = self._replay_tail(checkpoint_seq)
                 if self.system.gateway is not None:
                     self._restore_serving()
@@ -343,13 +345,16 @@ class DurableEarthQube:
         applied = skipped = 0
         self._replaying = True
         try:
-            with tracing.span("recover.replay", records=len(records)):
+            with tracing.span("recover.replay",
+                              records=len(records)) as replay_span:
                 for record in records:
                     try:
                         self._apply(record.op, record.payload)
                         applied += 1
                     except ReproError:
                         skipped += 1
+                replay_span.add_cost(wal_records_replayed=applied,
+                                     wal_records_skipped=skipped)
         finally:
             self._replaying = False
         self._last_applied_seq = (records[-1].seq if records

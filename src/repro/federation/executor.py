@@ -165,6 +165,8 @@ class FederatedExecutor:
                         meta.failed[node.name] = outcome.error or "unknown error"
                 scatter_span.annotate(answered=len(meta.answered),
                                       failed=len(meta.failed))
+                scatter_span.add_cost(nodes_answered=len(meta.answered),
+                                      nodes_failed=len(meta.failed))
         return outcomes, meta
 
     def _spawn(self, fn: Callable[[FederatedNode], Any],

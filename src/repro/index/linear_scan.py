@@ -171,14 +171,16 @@ class LinearScanIndex:
         query = np.asarray(code, dtype=np.uint64)
         allowed = self._effective_allowed(allowed)
         with tracing.span("linear.scan", rows=len(self._ids), queries=1,
-                          radius=radius):
+                          radius=radius) as scan_span:
             if allowed is None:
+                scan_span.add_cost(rows_scanned=len(self._ids))
                 distances = hamming_distances_to_query(codes, query)
                 within = np.flatnonzero(distances <= radius)
                 order = np.lexsort((within, distances[within]))
                 rows, kept = within[order], distances[within[order]]
             else:
                 rows0 = self._allowed_rows(as_allowed_mask(allowed))
+                scan_span.add_cost(rows_scanned=len(rows0))
                 sub = hamming_distances_to_query(codes[rows0], query)
                 inside = sub <= radius
                 # rows0 ascending -> stable sort by distance is canonical.
@@ -196,13 +198,15 @@ class LinearScanIndex:
         query = np.asarray(code, dtype=np.uint64)
         allowed = self._effective_allowed(allowed)
         with tracing.span("linear.scan", rows=len(self._ids), queries=1,
-                          k=k):
+                          k=k) as scan_span:
             if allowed is None:
+                scan_span.add_cost(rows_scanned=len(self._ids))
                 distances = hamming_distances_to_query(codes, query)
                 rows = top_k_smallest(distances, k)
                 return [SearchResult(self._ids[int(row)], int(distances[row]))
                         for row in rows]
             rows0 = self._allowed_rows(as_allowed_mask(allowed))
+            scan_span.add_cost(rows_scanned=len(rows0))
             sub = hamming_distances_to_query(codes[rows0], query)
             selection = top_k_smallest(sub, k)  # index tie-break == row tie-break
             return [SearchResult(self._ids[int(rows0[s])], int(sub[s]))
@@ -244,6 +248,8 @@ class LinearScanIndex:
                           k=k) as scan_span:
             distances = self._batch_distances(codes, rows0)
             scan_span.annotate(queries=int(distances.shape[0]))
+            scan_span.add_cost(
+                rows_scanned=int(distances.shape[0]) * int(distances.shape[1]))
         out: "list[list[SearchResult]]" = []
         for row_distances in distances:
             selection = top_k_smallest(row_distances, k)
@@ -269,6 +275,8 @@ class LinearScanIndex:
                           radius=radius) as scan_span:
             distances = self._batch_distances(codes, rows0)
             scan_span.annotate(queries=int(distances.shape[0]))
+            scan_span.add_cost(
+                rows_scanned=int(distances.shape[0]) * int(distances.shape[1]))
         out: "list[list[SearchResult]]" = []
         for row_distances in distances:
             inside = np.flatnonzero(row_distances <= radius)

@@ -611,10 +611,14 @@ class MultiIndexHashing:
                     row_of = row_of[_allowed_keep(row_of, allowed)]
                 cand_span.annotate(buckets_probed=probes,
                                    candidates=int(row_of.shape[0]))
+                cand_span.add_cost(buckets_probed=probes,
+                                   candidates_deduped=int(row_of.shape[0]))
             candidate_counts = np.array([row_of.shape[0]], dtype=np.int64)
             if row_of.shape[0]:
                 with tracing.span("mih.verify",
-                                  candidates=int(row_of.shape[0])):
+                                  candidates=int(row_of.shape[0])) as verify_span:
+                    verify_span.add_cost(
+                        candidates_verified=int(row_of.shape[0]))
                     distances = np.bitwise_count(
                         archive_codes[row_of] ^ queries[0]).sum(axis=1).astype(np.int64)
                     within = distances <= radius
@@ -639,11 +643,15 @@ class MultiIndexHashing:
                 row_of = row_of[keep]
             cand_span.annotate(buckets_probed=probes,
                                candidates=int(row_of.shape[0]))
+            cand_span.add_cost(buckets_probed=probes,
+                               candidates_deduped=int(row_of.shape[0]))
         if not row_of.shape[0]:
             return (empty, empty, np.zeros(num_queries + 1, dtype=np.int64),
                     probes, np.zeros(num_queries, dtype=np.int64))
         candidate_counts = np.bincount(query_of, minlength=num_queries)
-        with tracing.span("mih.verify", candidates=int(row_of.shape[0])):
+        with tracing.span("mih.verify",
+                          candidates=int(row_of.shape[0])) as verify_span:
+            verify_span.add_cost(candidates_verified=int(row_of.shape[0]))
             distances = np.bitwise_count(
                 archive_codes[row_of] ^ queries[query_of]).sum(axis=1).astype(np.int64)
             within = distances <= radius
@@ -667,7 +675,7 @@ class MultiIndexHashing:
         num_queries = queries.shape[0]
         total_rows = len(self._ids)
         with tracing.span("mih.exact_fallback", rows=total_rows,
-                          queries=num_queries):
+                          queries=num_queries) as fallback_span:
             row_chunks: list[np.ndarray] = []
             distance_chunks: list[np.ndarray] = []
             bounds = np.zeros(num_queries + 1, dtype=np.int64)
@@ -676,6 +684,8 @@ class MultiIndexHashing:
                 # costs O(|allowed|) per query instead of O(N).
                 rows0 = np.flatnonzero(allowed[:archive_codes.shape[0]])
                 archive_codes = archive_codes[rows0]
+            fallback_span.add_cost(
+                fallback_rows=int(archive_codes.shape[0]) * num_queries)
             for query_index in range(num_queries):
                 distances = np.bitwise_count(
                     archive_codes ^ queries[query_index]).sum(axis=1).astype(np.int64)
@@ -700,12 +710,14 @@ class MultiIndexHashing:
 
         With an allowed mask, only the allowed subset is gathered and
         scanned (pre-filter pushdown)."""
-        with tracing.span("mih.exact_fallback", rows=len(self._ids), k=k):
+        with tracing.span("mih.exact_fallback", rows=len(self._ids),
+                          k=k) as fallback_span:
             if allowed is None:
                 rows0 = None
             else:
                 rows0 = np.flatnonzero(allowed[:archive_codes.shape[0]])
                 archive_codes = archive_codes[rows0]
+            fallback_span.add_cost(fallback_rows=int(archive_codes.shape[0]))
             distances = np.bitwise_count(
                 archive_codes ^ query).sum(axis=1).astype(np.int64)
             within = np.flatnonzero(distances <= limit)
@@ -850,6 +862,15 @@ class MultiIndexHashing:
                                              acc_pairs.shape[0] - 1)
                             fresh = fresh[acc_pairs[pos] != fresh]
                         layer_span.annotate(fresh=int(fresh.shape[0]))
+                        if layer_span is not tracing.NULL_SPAN:
+                            layer_buckets = (
+                                self._probe_cost(probed_layer)
+                                - self._probe_cost(probed_layer - 1)
+                            ) * int(active.shape[0])
+                            layer_span.add_cost(
+                                ladder_layers=1,
+                                buckets_probed=layer_buckets,
+                                candidates_verified=int(fresh.shape[0]))
                         if fresh.shape[0]:
                             rows = fresh % total_rows
                             query_of = fresh // total_rows
@@ -899,8 +920,8 @@ class MultiIndexHashing:
                     probed_layer += 1
                     with tracing.span("mih.layer", layer=probed_layer,
                                       active=1) as layer_span:
-                        fresh, _ = self._single_candidates(query, substring_radius,
-                                                           layer=probed_layer)
+                        fresh, layer_probes = self._single_candidates(
+                            query, substring_radius, layer=probed_layer)
                         if allowed is not None and fresh.shape[0]:
                             fresh = fresh[_allowed_keep(fresh, allowed)]
                         if acc_rows.shape[0] and fresh.shape[0]:
@@ -908,6 +929,9 @@ class MultiIndexHashing:
                                              acc_rows.shape[0] - 1)
                             fresh = fresh[acc_rows[pos] != fresh]
                         layer_span.annotate(fresh=int(fresh.shape[0]))
+                        layer_span.add_cost(
+                            ladder_layers=1, buckets_probed=layer_probes,
+                            candidates_verified=int(fresh.shape[0]))
                         if fresh.shape[0]:
                             distances = np.bitwise_count(
                                 archive_codes[fresh] ^ query).sum(axis=1).astype(np.int64)

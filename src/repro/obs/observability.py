@@ -22,16 +22,18 @@ import time
 from typing import Any
 
 from ..config import ObsConfig
-from . import tracing
+from ..errors import ValidationError
+from . import costs, tracing
 from .logs import StructuredLogger
 from .slowlog import SlowQueryLog
+from .workload import WorkloadStats
 
 
 class RequestContext:
     """Context manager for one observed request (see ``Observability.request``)."""
 
     __slots__ = ("route", "attrs", "span", "is_root", "duration_ms",
-                 "_obs", "_force", "_start")
+                 "_obs", "_force", "_start", "_ledger")
 
     def __init__(self, obs: "Observability", route: str, force: bool,
                  attrs: dict) -> None:
@@ -43,6 +45,7 @@ class RequestContext:
         self.is_root = False
         self.duration_ms: "float | None" = None
         self._start = 0.0
+        self._ledger = None
 
     @property
     def trace_id(self) -> "str | None":
@@ -56,11 +59,23 @@ class RequestContext:
         self.attrs.update(attrs)
         if self.span is not None:
             self.span.annotate(**attrs)
+        elif self._ledger is not None:
+            self._ledger.annotate(**attrs)
 
     def tree(self) -> "dict | None":
         """The finished span tree (root requests only; ``None`` untraced)."""
         if self.is_root and self.span is not None:
             return self.span.as_dict()
+        return None
+
+    def profile(self) -> "dict | None":
+        """The request's cost profile: counters, stage self-times, family
+        attributes — from the span tree when traced, from the cost-only
+        ledger otherwise (``None`` when neither is collected)."""
+        if self.span is not None:
+            return costs.profile_from_tree(self.span.as_dict())
+        if self.is_root and isinstance(self._ledger, tracing.CostSpan):
+            return self._ledger.report()
         return None
 
     def __enter__(self) -> "RequestContext":
@@ -70,12 +85,21 @@ class RequestContext:
             if isinstance(child, tracing.Span):
                 self.span = child
                 child.__enter__()
+            elif child is not tracing.NULL_SPAN:
+                # Cost-only stage under an outer unsampled request.
+                self._ledger = child
+                child.__enter__()
         else:
             self.is_root = True
             tracer = self._obs.tracer
             if self._force or tracer.should_sample():
                 self.span = tracer.start_trace(self.route, **self.attrs)
                 self.span.__enter__()
+            elif self._obs.cost_tracking:
+                self._ledger = tracing.CostSpan(self.route)
+                if self.attrs:
+                    self._ledger.annotate(**self.attrs)
+                self._ledger.__enter__()
         self._start = time.perf_counter()
         return self
 
@@ -83,6 +107,8 @@ class RequestContext:
         self.duration_ms = (time.perf_counter() - self._start) * 1e3
         if self.span is not None:
             self.span.__exit__(exc_type, exc, tb)
+        elif self._ledger is not None:
+            self._ledger.__exit__(exc_type, exc, tb)
         if self.is_root:
             self._obs._finish_request(self, exc_type)
         return False
@@ -95,10 +121,15 @@ class Observability:
                  component: str = "earthqube") -> None:
         self.config = config if config is not None else ObsConfig()
         self.component = component
+        self.cost_tracking = bool(self.config.enabled
+                                  and self.config.cost_tracking)
         self.tracer = tracing.Tracer(enabled=self.config.enabled,
                                      sample_rate=self.config.sample_rate)
         self.slow_log = SlowQueryLog(capacity=self.config.slow_buffer_size,
                                      threshold_ms=self.config.slow_threshold_ms)
+        self.workload: "WorkloadStats | None" = (
+            WorkloadStats(window=self.config.workload_window)
+            if self.config.enabled and self.config.workload_enabled else None)
         self.log = StructuredLogger(component)
 
     def request(self, route: str, *, force_trace: bool = False,
@@ -118,10 +149,22 @@ class Observability:
                            duration_ms=duration_ms,
                            error=exc_type.__name__, **fields)
             return
+        tree = request.tree()
+        profile = (costs.profile_from_tree(tree) if tree is not None
+                   else request.profile())
+        if self.workload is not None:
+            family_attrs = dict(request.attrs)
+            if profile is not None:
+                family_attrs.update(profile["attrs"])
+            self.workload.record(family=costs.family_key(family_attrs),
+                                 duration_ms=duration_ms,
+                                 costs=(profile or {}).get("costs"))
         if duration_ms >= self.slow_log.threshold_ms:
             self.slow_log.record(route=request.route, duration_ms=duration_ms,
                                  trace_id=request.trace_id,
-                                 attrs=request.attrs, trace=request.tree())
+                                 attrs=request.attrs, trace=tree,
+                                 costs=(profile or {}).get("costs"),
+                                 stages=(profile or {}).get("stages"))
             self.log.event("query.slow", level=logging.WARNING,
                            trace_id=request.trace_id, route=request.route,
                            duration_ms=duration_ms, **fields)
@@ -129,6 +172,21 @@ class Observability:
             self.log.event("query", level=logging.DEBUG,
                            trace_id=request.trace_id, route=request.route,
                            duration_ms=duration_ms, **fields)
+
+    def workload_profile(self) -> "dict | None":
+        """The current workload-statistics profile (``None`` if disabled)."""
+        return self.workload.snapshot() if self.workload is not None else None
+
+    def save_workload_profile(self, path: "str | None" = None) -> dict:
+        """Persist the workload profile sidecar to ``path`` (or the
+        configured ``workload_profile_path``)."""
+        if self.workload is None:
+            raise ValidationError("workload statistics are disabled")
+        path = path if path is not None else self.config.workload_profile_path
+        if path is None:
+            raise ValidationError(
+                "no path given and ObsConfig.workload_profile_path unset")
+        return self.workload.save(path)
 
     def describe(self) -> dict:
         """JSON-compatible view of knobs and tracer/slow-log state."""
@@ -139,7 +197,11 @@ class Observability:
                 "sample_rate": self.config.sample_rate,
                 "slow_threshold_ms": self.config.slow_threshold_ms,
                 "slow_buffer_size": self.config.slow_buffer_size,
+                "cost_tracking": self.cost_tracking,
+                "workload_enabled": self.workload is not None,
             },
             "tracer": self.tracer.stats(),
             "slow_log": self.slow_log.describe(),
+            "workload": (self.workload.describe()
+                         if self.workload is not None else None),
         }

@@ -1,12 +1,19 @@
 """Prometheus text-format exposition of the metrics snapshots.
 
-Renders the JSON metric snapshots (serving and federation tiers) into the
-Prometheus text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE``
-headers followed by ``name{label="value"} value`` samples.  Counters are
-suffixed ``_total``, latency histograms are exposed as ``summary`` families
-in seconds (quantile samples plus ``_count``/``_sum``), and labeled metric
-families carry their labels verbatim — per-node federation latency shows up
-as ``repro_federation_node_latency_seconds{node="a",quantile="0.5"}``.
+Renders the JSON metric snapshots (serving, federation and workload tiers)
+into the Prometheus text exposition format (version 0.0.4): ``# HELP`` /
+``# TYPE`` headers followed by ``name{label="value"} value`` samples.
+Counters are suffixed ``_total``, latency histograms are exposed as
+``summary`` families in seconds (quantile samples plus
+``_count``/``_sum``), and labeled metric families carry their labels
+verbatim — per-node federation latency shows up as
+``repro_federation_node_latency_seconds{node="a",quantile="0.5"}``.
+
+Latency summaries that carry lifetime ``buckets`` (see
+:class:`repro.serving.metrics.LatencyHistogram`) additionally render as a
+sibling *native histogram* family ``<name>_hist_seconds`` with cumulative
+``le``-labeled ``_bucket`` samples (``+Inf`` included) — the form
+``histogram_quantile()`` and exact ``rate()`` math consume.
 
 The renderer is a pure function of the snapshot dicts, so ``GET
 /metrics?format=prometheus`` shares one consistent read with the JSON view.
@@ -70,6 +77,18 @@ def _add_summary(fam: _Family, labels: Mapping, summary: Mapping) -> None:
          float(summary.get("mean_ms", 0.0)) * count / 1e3))
 
 
+def _add_histogram(fam: _Family, labels: Mapping, summary: Mapping) -> None:
+    """Cumulative ``_bucket`` samples from a summary's lifetime buckets."""
+    for le, cumulative in summary["buckets"].items():
+        fam.samples.append(
+            ("_bucket", {**labels, "le": le}, float(cumulative)))
+    count = int(summary.get("count", 0))
+    fam.samples.append(("_count", dict(labels), count))
+    fam.samples.append(
+        ("_sum", dict(labels),
+         float(summary.get("mean_ms", 0.0)) * count / 1e3))
+
+
 def _render_snapshot(families: "dict[str, _Family]", tier: str,
                      snapshot: Mapping) -> None:
     prefix = f"repro_{tier}_"
@@ -90,6 +109,12 @@ def _render_snapshot(families: "dict[str, _Family]", tier: str,
         fam = _family(families, prefix + sanitize_name(name) + "_seconds",
                       "summary", f"Latency of '{name}' ({tier} tier).")
         _add_summary(fam, {}, summary)
+        if summary.get("buckets"):
+            fam = _family(
+                families, prefix + sanitize_name(name) + "_hist_seconds",
+                "histogram",
+                f"Latency of '{name}' ({tier} tier), cumulative buckets.")
+            _add_histogram(fam, {}, summary)
     labeled = snapshot.get("families", {})
     for name, series in labeled.get("counters", {}).items():
         fam = _family(families, prefix + sanitize_name(name) + "_total",
@@ -108,6 +133,14 @@ def _render_snapshot(families: "dict[str, _Family]", tier: str,
                       "summary", f"Latency of '{name}' ({tier} tier).")
         for entry in series:
             _add_summary(fam, entry.get("labels", {}), entry)
+        buckets = [entry for entry in series if entry.get("buckets")]
+        if buckets:
+            fam = _family(
+                families, prefix + sanitize_name(name) + "_hist_seconds",
+                "histogram",
+                f"Latency of '{name}' ({tier} tier), cumulative buckets.")
+            for entry in buckets:
+                _add_histogram(fam, entry.get("labels", {}), entry)
 
 
 def _format_value(value: float) -> str:
@@ -119,7 +152,7 @@ def _format_value(value: float) -> str:
 def render_prometheus(payload: Mapping) -> str:
     """The ``/metrics`` payload rendered as Prometheus exposition text."""
     families: dict[str, _Family] = {}
-    for tier in ("serving", "federation"):
+    for tier in ("serving", "federation", "workload"):
         snapshot = payload.get(tier)
         if isinstance(snapshot, Mapping):
             _render_snapshot(families, tier, snapshot)

@@ -38,8 +38,16 @@ class SlowQueryLog:
     def record(self, *, route: str, duration_ms: float,
                trace_id: "str | None" = None,
                attrs: "dict | None" = None,
-               trace: "dict | None" = None) -> dict:
-        """Append one slow-query record; returns the stored entry."""
+               trace: "dict | None" = None,
+               costs: "dict | None" = None,
+               stages: "dict | None" = None) -> dict:
+        """Append one slow-query record; returns the stored entry.
+
+        ``costs`` (operator counter totals) and ``stages`` (per-stage
+        self-time breakdown) are recorded even for requests that were not
+        credit-sampled — a slow query must be diagnosable from this ring
+        alone, trace or no trace.
+        """
         entry: dict[str, Any] = {
             "seq": next(self._seq),
             "recorded_at": round(time.time(), 3),
@@ -49,6 +57,10 @@ class SlowQueryLog:
         }
         if attrs:
             entry["attrs"] = dict(attrs)
+        if costs:
+            entry["costs"] = dict(costs)
+        if stages:
+            entry["stages"] = dict(stages)
         if trace is not None:
             entry["trace"] = trace
         with self._lock:

@@ -58,7 +58,7 @@ class Span:
     """
 
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs",
-                 "children", "start_s", "end_s", "_prev")
+                 "children", "start_s", "end_s", "costs", "_prev")
 
     def __init__(self, name: str, trace_id: str,
                  parent_id: "str | None" = None,
@@ -72,6 +72,7 @@ class Span:
         self.children: list[Span] = []
         self.start_s: "float | None" = None
         self.end_s: "float | None" = None
+        self.costs: "dict[str, int] | None" = None
         self._prev: "Span | None" = None
 
     @property
@@ -84,6 +85,22 @@ class Span:
         """Attach key/value attributes (allowed before, during, or after)."""
         for key, value in attrs.items():
             self.attrs[key] = _clean(value)
+        return self
+
+    def add_cost(self, **counters: Any) -> "Span":
+        """Accumulate typed operator cost counters onto this span.
+
+        Counters are integers (rows scanned, buckets probed, candidates
+        verified, ids intersected, ...) and repeated calls add up — a
+        chunked scan can report each chunk.  Costs are stored separately
+        from ``attrs`` so the cost model can roll them up over the subtree
+        without guessing which attributes are work counters.
+        """
+        costs = self.costs
+        if costs is None:
+            costs = self.costs = {}
+        for key, value in counters.items():
+            costs[key] = costs.get(key, 0) + int(value)
         return self
 
     def __enter__(self) -> "Span":
@@ -124,6 +141,8 @@ class Span:
             "attrs": dict(self.attrs),
             "children": children,
         }
+        if self.costs:
+            node["costs"] = dict(self.costs)
         if self.start_s is None or self.end_s is None:
             node["unfinished"] = True
             if self.start_s is not None and origin is not None:
@@ -151,12 +170,125 @@ class _NullSpan:
     def annotate(self, **attrs: Any) -> "_NullSpan":
         return self
 
+    def add_cost(self, **counters: Any) -> "_NullSpan":
+        return self
+
 
 NULL_SPAN = _NullSpan()
 
 
-def current_span() -> "Span | None":
-    """This thread's active span, or ``None`` when untraced."""
+class CostSpan:
+    """Request-scoped cost ledger for *unsampled* requests.
+
+    A slow query is exactly the one you always want attributed, but the
+    sampler cannot know in advance which request will be slow.  The
+    compromise: when a root request is not credit-sampled, the request
+    context installs a :class:`CostSpan` instead of a full :class:`Span`.
+    Instrumentation sites then get a :class:`_StageSpan` from :func:`span`
+    — no tree is built, no ids are allocated, but per-stage self-time and
+    every :func:`add_cost` counter still fold into this single ledger, so
+    the slow-query ring and the workload statistics cover 100% of traffic.
+
+    Thread-safe: shard-pool and federation workers that :func:`attach` a
+    captured cost context fold their stages under one lock.
+    """
+
+    __slots__ = ("name", "counters", "stages", "attrs", "_lock", "_prev")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: dict[str, int] = {}
+        #: stage name -> [entry count, summed self-time seconds]
+        self.stages: "dict[str, list]" = {}
+        self.attrs: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._prev = None
+
+    def __enter__(self) -> "CostSpan":
+        self._prev = getattr(_local, "span", None)
+        _local.span = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _local.span = self._prev
+        return False
+
+    def annotate(self, **attrs: Any) -> "CostSpan":
+        with self._lock:
+            for key, value in attrs.items():
+                self.attrs[key] = _clean(value)
+        return self
+
+    def add_cost(self, **counters: Any) -> "CostSpan":
+        with self._lock:
+            for key, value in counters.items():
+                self.counters[key] = self.counters.get(key, 0) + int(value)
+        return self
+
+    def _child(self, name: str) -> "_StageSpan":
+        return _StageSpan(name, self)
+
+    def _finish_stage(self, stage: "_StageSpan", elapsed_s: float) -> None:
+        prev = stage._prev
+        with self._lock:
+            entry = self.stages.get(stage.name)
+            if entry is None:
+                entry = self.stages[stage.name] = [0, 0.0]
+            entry[0] += 1
+            entry[1] += max(0.0, elapsed_s - stage.child_s)
+            if type(prev) is _StageSpan:
+                prev.child_s += elapsed_s
+
+    def report(self) -> dict:
+        """JSON-compatible ledger snapshot: counters, stages, attributes."""
+        with self._lock:
+            counters = dict(self.counters)
+            stages = {name: {"count": entry[0],
+                             "self_time_ms": round(entry[1] * 1e3, 4)}
+                      for name, entry in sorted(self.stages.items())}
+            attrs = dict(self.attrs)
+        return {"costs": counters, "stages": stages, "attrs": attrs}
+
+
+class _StageSpan:
+    """Lightweight timed stage under a :class:`CostSpan` (no tree, no ids)."""
+
+    __slots__ = ("name", "root", "start_s", "child_s", "_prev")
+
+    def __init__(self, name: str, root: CostSpan) -> None:
+        self.name = name
+        self.root = root
+        self.start_s = 0.0
+        self.child_s = 0.0
+        self._prev = None
+
+    def __enter__(self) -> "_StageSpan":
+        self._prev = getattr(_local, "span", None)
+        _local.span = self
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self.start_s
+        _local.span = self._prev
+        self.root._finish_stage(self, elapsed)
+        return False
+
+    def annotate(self, **attrs: Any) -> "_StageSpan":
+        self.root.annotate(**attrs)
+        return self
+
+    def add_cost(self, **counters: Any) -> "_StageSpan":
+        self.root.add_cost(**counters)
+        return self
+
+    def _child(self, name: str) -> "_StageSpan":
+        return _StageSpan(name, self.root)
+
+
+def current_span():
+    """This thread's active context: a :class:`Span`, a cost-only
+    :class:`CostSpan`/:class:`_StageSpan`, or ``None`` when neither."""
     return getattr(_local, "span", None)
 
 
@@ -169,13 +301,19 @@ def span(name: str, **attrs: Any):
         with span("mih.probe", radius=r) as sp:
             ...
             sp.annotate(candidates=n)
+
+    Under a cost-only request (root not credit-sampled) the parent is a
+    :class:`CostSpan` and a :class:`_StageSpan` is returned instead — same
+    protocol, but only stage self-time and cost counters are kept.
     """
     parent = getattr(_local, "span", None)
     if parent is None:
         return NULL_SPAN
-    child = Span(name, parent.trace_id, parent.span_id, attrs)
-    parent.children.append(child)
-    return child
+    if type(parent) is Span:
+        child = Span(name, parent.trace_id, parent.span_id, attrs)
+        parent.children.append(child)
+        return child
+    return parent._child(name)
 
 
 def annotate(**attrs: Any) -> None:
@@ -183,6 +321,21 @@ def annotate(**attrs: Any) -> None:
     active = getattr(_local, "span", None)
     if active is not None:
         active.annotate(**attrs)
+
+
+def add_cost(**counters: Any) -> None:
+    """Fold operator cost counters into the active span, if any.
+
+    The single cost instrumentation entry point: under a sampled trace the
+    counters land on the active :class:`Span` (per-stage attribution in
+    the tree), under a cost-only request they fold into the request's
+    :class:`CostSpan` ledger, and with no active context this is one
+    ``getattr`` plus a ``None`` check — the same near-zero fast path as
+    :func:`span`.
+    """
+    active = getattr(_local, "span", None)
+    if active is not None:
+        active.add_cost(**counters)
 
 
 def capture() -> "Span | None":

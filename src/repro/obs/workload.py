@@ -1,0 +1,265 @@
+"""Workload statistics: per-query-family cost and latency aggregation.
+
+The cost counters of :mod:`repro.obs.costs` describe *one* request; a cost
+model needs the *distribution*.  :class:`WorkloadStats` is a thread-safe
+registry keyed by query family — ``(backend, strategy,
+filter-selectivity-bucket)`` — aggregating, per family:
+
+* a sliding-window latency histogram (count / mean / p50 / p95 / p99 / max),
+* per-counter cost statistics (total, mean, max, and a power-of-two bucket
+  histogram, so "how many candidates does a ``<=1%`` MIH prefilter verify"
+  is answerable without raw logs).
+
+Every root request recorded by :class:`~repro.obs.Observability` lands
+here — sampled or not, thanks to the cost-only ledger — so the profile
+converges on real traffic.  The store serializes to a JSON *workload
+profile* sidecar (:meth:`WorkloadStats.save`), is served at
+``GET /debug/workload``, and exposes labeled Prometheus families
+(``repro_workload_query_latency_seconds{backend=...,strategy=...}``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import ValidationError
+
+PROFILE_VERSION = 1
+
+
+def _pow2_bucket(value: int) -> str:
+    """Upper power-of-two bucket label for a non-negative counter value."""
+    if value <= 0:
+        return "0"
+    return str(1 << (int(value) - 1).bit_length())
+
+
+class _CostStat:
+    """Aggregate of one cost counter within one family (not thread-safe —
+    guarded by the owning family's lock)."""
+
+    __slots__ = ("count", "total", "max", "hist")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.max = 0
+        self.hist: dict[str, int] = {}
+
+    def add(self, value: int) -> None:
+        value = int(value)
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        bucket = _pow2_bucket(value)
+        self.hist[bucket] = self.hist.get(bucket, 0) + 1
+
+    def as_dict(self) -> dict:
+        mean = round(self.total / self.count, 2) if self.count else 0.0
+        hist = {key: self.hist[key]
+                for key in sorted(self.hist, key=lambda k: int(k))}
+        return {"count": self.count, "total": self.total,
+                "mean": mean, "max": self.max, "hist": hist}
+
+
+class _FamilyStats:
+    """Latency window + cost aggregates for one query family."""
+
+    __slots__ = ("lock", "count", "total_ms", "window", "costs")
+
+    def __init__(self, window: int) -> None:
+        self.lock = threading.Lock()
+        self.count = 0
+        self.total_ms = 0.0
+        self.window: deque[float] = deque(maxlen=window)
+        self.costs: dict[str, _CostStat] = {}
+
+    def record(self, duration_ms: float, costs: "Mapping | None") -> None:
+        with self.lock:
+            self.count += 1
+            self.total_ms += float(duration_ms)
+            self.window.append(float(duration_ms))
+            if costs:
+                for key, value in costs.items():
+                    stat = self.costs.get(key)
+                    if stat is None:
+                        stat = self.costs[key] = _CostStat()
+                    stat.add(value)
+
+    def latency_summary(self) -> dict:
+        with self.lock:
+            count, total = self.count, self.total_ms
+            window = np.fromiter(self.window, dtype=np.float64)
+            if window.size == 0:
+                return {"count": count, "mean_ms": 0.0, "p50_ms": 0.0,
+                        "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+            p50, p95, p99 = np.percentile(window, (50, 95, 99))
+            return {
+                "count": count,
+                "mean_ms": round(total / count, 4) if count else 0.0,
+                "p50_ms": round(float(p50), 4),
+                "p95_ms": round(float(p95), 4),
+                "p99_ms": round(float(p99), 4),
+                "max_ms": round(float(window.max()), 4),
+            }
+
+    def costs_summary(self) -> dict:
+        with self.lock:
+            return {key: self.costs[key].as_dict()
+                    for key in sorted(self.costs)}
+
+
+class WorkloadStats:
+    """Thread-safe per-query-family workload statistics registry."""
+
+    def __init__(self, *, window: int = 512) -> None:
+        if window < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._lock = threading.Lock()
+        self._families: "dict[tuple[str, str, str], _FamilyStats]" = {}
+        self._recorded = 0
+
+    def record(self, *, family: "tuple[str, str, str]",
+               duration_ms: float, costs: "Mapping | None" = None) -> None:
+        """Fold one finished request into its family's aggregates."""
+        with self._lock:
+            stats = self._families.get(family)
+            if stats is None:
+                stats = self._families[family] = _FamilyStats(self._window)
+            self._recorded += 1
+        stats.record(duration_ms, costs)
+
+    @property
+    def recorded_total(self) -> int:
+        with self._lock:
+            return self._recorded
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._families)
+            self._families.clear()
+            self._recorded = 0
+            return dropped
+
+    def _items(self) -> "list[tuple[tuple[str, str, str], _FamilyStats]]":
+        with self._lock:
+            return sorted(self._families.items())
+
+    def snapshot(self) -> dict:
+        """The JSON workload profile (see module docstring for the schema)."""
+        families = []
+        for (backend, strategy, selectivity), stats in self._items():
+            families.append({
+                "backend": backend,
+                "strategy": strategy,
+                "selectivity": selectivity,
+                "latency_ms": stats.latency_summary(),
+                "costs": stats.costs_summary(),
+            })
+        return {"version": PROFILE_VERSION,
+                "recorded_total": self.recorded_total,
+                "families": families}
+
+    def metrics_snapshot(self) -> dict:
+        """A metrics-registry-shaped view for the Prometheus renderer.
+
+        Latency becomes one labeled summary family ``query.latency``; cost
+        totals become one labeled counter family ``query.cost`` with the
+        counter name as a ``counter`` label.
+        """
+        latency, counters = [], []
+        for (backend, strategy, selectivity), stats in self._items():
+            labels = {"backend": backend, "strategy": strategy,
+                      "selectivity": selectivity}
+            latency.append({"labels": labels, **stats.latency_summary()})
+            for key, cost in stats.costs_summary().items():
+                counters.append({"labels": {**labels, "counter": key},
+                                 "value": cost["total"]})
+        return {"families": {"counters": {"query.cost": counters},
+                             "gauges": {},
+                             "latency": {"query.latency": latency}}}
+
+    def save(self, path: str) -> dict:
+        """Atomically persist the profile sidecar; returns what was written."""
+        profile = self.snapshot()
+        profile["saved_at"] = round(time.time(), 3)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(profile, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return profile
+
+    @staticmethod
+    def load(path: str) -> dict:
+        """Read a persisted workload profile, validating the version."""
+        with open(path) as fh:
+            profile = json.load(fh)
+        version = profile.get("version")
+        if version != PROFILE_VERSION:
+            raise ValidationError(
+                f"unsupported workload profile version {version!r} "
+                f"(expected {PROFILE_VERSION})")
+        return profile
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {"families": len(self._families),
+                    "recorded_total": self._recorded,
+                    "window": self._window}
+
+
+def merge_profiles(profiles: "list[dict]") -> dict:
+    """Merge several saved profiles' cost totals (histograms summed).
+
+    Latency windows cannot be merged exactly, so merged families report
+    only count-weighted mean latency — good enough for the calibration
+    cross-checks that compare cost totals across runs.
+    """
+    merged: dict[tuple[str, str, str], dict] = {}
+    for profile in profiles:
+        for fam in profile.get("families", ()):
+            key = (fam["backend"], fam["strategy"], fam["selectivity"])
+            into = merged.get(key)
+            if into is None:
+                merged[key] = json.loads(json.dumps(fam))  # deep copy
+                continue
+            lat, other = into["latency_ms"], fam["latency_ms"]
+            total = lat["count"] + other["count"]
+            if total:
+                lat["mean_ms"] = round(
+                    (lat["mean_ms"] * lat["count"]
+                     + other["mean_ms"] * other["count"]) / total, 4)
+            lat["count"] = total
+            lat["max_ms"] = max(lat["max_ms"], other["max_ms"])
+            for name, cost in fam.get("costs", {}).items():
+                mine = into.setdefault("costs", {}).get(name)
+                if mine is None:
+                    into["costs"][name] = json.loads(json.dumps(cost))
+                    continue
+                mine["count"] += cost["count"]
+                mine["total"] += cost["total"]
+                mine["max"] = max(mine["max"], cost["max"])
+                mine["mean"] = (round(mine["total"] / mine["count"], 2)
+                                if mine["count"] else 0.0)
+                for bucket, n in cost.get("hist", {}).items():
+                    mine["hist"][bucket] = mine["hist"].get(bucket, 0) + n
+    return {"version": PROFILE_VERSION,
+            "recorded_total": sum(p.get("recorded_total", 0)
+                                  for p in profiles),
+            "families": [
+                {"backend": backend, "strategy": strategy,
+                 "selectivity": selectivity, **fam}
+                for (backend, strategy, selectivity), fam in (
+                    (key, {k: v for k, v in value.items()
+                           if k not in ("backend", "strategy", "selectivity")})
+                    for key, value in sorted(merged.items()))]}

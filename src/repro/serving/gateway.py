@@ -202,6 +202,8 @@ class ServingGateway:
                     miss_jobs.append(job)
             lookup_span.annotate(hits=len(codes) - len(miss_jobs),
                                  misses=len(miss_jobs))
+            lookup_span.add_cost(cache_hits=len(codes) - len(miss_jobs),
+                                 cache_misses=len(miss_jobs))
         if miss_jobs:
             generation = self._generation
             with self.metrics.timer("similar.execute"), \
@@ -286,9 +288,11 @@ class ServingGateway:
         """
         if row_filter.count == 0:
             return [], (radius if radius is not None else 0)
+        selectivity = row_filter.selectivity(len(self.index))
         if self._filter_plan(row_filter) == "pre":
             self.metrics.counter("filter.prefilter").increment()
-            tracing.annotate(filter_plan="pre")
+            tracing.annotate(filter_plan="pre", strategy="prefilter",
+                             selectivity=selectivity)
             trace = tracing.capture()
             job = (CodeQuery(code=code, radius=radius,
                              allowed=row_filter.mask, filter_key=fingerprint,
@@ -301,7 +305,8 @@ class ServingGateway:
                 results = self.batcher.submit(job).result()
             return results, self._used_radius(results, radius)
         self.metrics.counter("filter.postfilter").increment()
-        tracing.annotate(filter_plan="post")
+        tracing.annotate(filter_plan="post", strategy="postfilter",
+                         selectivity=selectivity)
         if radius is not None:
             results, _ = self._cached_code_query(code, k=None, radius=radius)
             kept = [r for r in results if r.item_id in row_filter.names]
@@ -342,6 +347,8 @@ class ServingGateway:
                     miss_positions.append(position)
             lookup_span.annotate(hits=len(codes) - len(miss_positions),
                                  misses=len(miss_positions))
+            lookup_span.add_cost(cache_hits=len(codes) - len(miss_positions),
+                                 cache_misses=len(miss_positions))
         if not miss_positions:
             return outcomes  # type: ignore[return-value]
         # Snapshot the generation BEFORE resolving the mask: a racing
@@ -355,7 +362,9 @@ class ServingGateway:
             # micro-batch groups by filter_key).
             self.metrics.counter("filter.prefilter").increment(
                 len(miss_positions))
-            tracing.annotate(filter_plan="pre")
+            tracing.annotate(filter_plan="pre", strategy="prefilter",
+                             selectivity=row_filter.selectivity(
+                                 len(self.index)))
             trace = tracing.capture()
             jobs = [(CodeQuery(code=codes[p], radius=radius,
                                allowed=row_filter.mask,
@@ -398,6 +407,8 @@ class ServingGateway:
             with tracing.span("cache.lookup") as lookup_span:
                 cached = self.cache.get(key)
                 lookup_span.annotate(hit=cached is not None)
+                lookup_span.add_cost(cache_hits=int(cached is not None),
+                                     cache_misses=int(cached is None))
             if cached is not None:
                 results, used = cached
                 return list(results), used
@@ -415,6 +426,8 @@ class ServingGateway:
         with tracing.span("cache.lookup") as lookup_span:
             cached = self.cache.get(key)
             lookup_span.annotate(hit=cached is not None)
+            lookup_span.add_cost(cache_hits=int(cached is not None),
+                                 cache_misses=int(cached is None))
         if cached is not None:
             results, used = cached
             return list(results), used
@@ -464,6 +477,8 @@ class ServingGateway:
             with tracing.span("cache.lookup") as lookup_span:
                 cached = self.cache.get(key)
                 lookup_span.annotate(hit=cached is not None)
+                lookup_span.add_cost(cache_hits=int(cached is not None),
+                                     cache_misses=int(cached is None))
             if cached is not None:
                 tracing.annotate(plan=cached.plan,
                                  candidates_examined=cached.candidates_examined)

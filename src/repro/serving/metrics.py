@@ -20,10 +20,19 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from collections import deque
 from contextlib import contextmanager
 
 import numpy as np
+
+#: Fixed bucket upper edges (seconds) for the lifetime latency histogram —
+#: 1ms through 5s covers everything from a cache hit to a cold federated
+#: scatter; slower samples land in the implicit ``+Inf`` bucket.
+BUCKET_EDGES_SECONDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                        0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+_BUCKET_LABELS = tuple(f"{edge:g}" for edge in BUCKET_EDGES_SECONDS)
 
 
 class Counter:
@@ -65,7 +74,11 @@ class LatencyHistogram:
 
     Keeps the most recent ``window`` samples (old traffic ages out, so the
     percentiles track current behaviour) plus lifetime count/total for QPS
-    and mean-over-all-time accounting.
+    and mean-over-all-time accounting, plus lifetime counts in the fixed
+    :data:`BUCKET_EDGES_SECONDS` buckets — the cumulative ``_bucket``
+    series a native Prometheus histogram exposes (unlike the windowed
+    percentiles, bucket counts never age out, so rate() over a scrape
+    interval is exact).
     """
 
     def __init__(self, window: int = 4096) -> None:
@@ -75,6 +88,7 @@ class LatencyHistogram:
         self._samples: deque[float] = deque(maxlen=window)
         self._count = 0
         self._total = 0.0
+        self._bucket_counts = [0] * len(BUCKET_EDGES_SECONDS)
 
     @property
     def count(self) -> int:
@@ -89,10 +103,32 @@ class LatencyHistogram:
             return self._total
 
     def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        bucket = bisect_left(BUCKET_EDGES_SECONDS, seconds)
         with self._lock:
-            self._samples.append(float(seconds))
+            self._samples.append(seconds)
             self._count += 1
-            self._total += float(seconds)
+            self._total += seconds
+            if bucket < len(self._bucket_counts):
+                self._bucket_counts[bucket] += 1
+
+    def buckets(self) -> dict:
+        """Lifetime cumulative bucket counts, Prometheus ``le`` convention.
+
+        ``{"0.001": 3, ..., "5": 40, "+Inf": 41}`` — each entry counts
+        every sample ``<=`` its edge, and ``+Inf`` equals the lifetime
+        count.
+        """
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        cumulative = 0
+        out: dict[str, int] = {}
+        for label, count in zip(_BUCKET_LABELS, counts):
+            cumulative += count
+            out[label] = cumulative
+        out["+Inf"] = total
+        return out
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0..100) of the current window, seconds."""
@@ -102,13 +138,22 @@ class LatencyHistogram:
             return float(np.percentile(np.fromiter(self._samples, dtype=np.float64), q))
 
     def summary(self) -> dict:
-        """JSON-compatible summary: count, mean and p50/p95/p99 in ms."""
+        """JSON-compatible summary: count, mean and p50/p95/p99 in ms,
+        plus the lifetime cumulative ``buckets`` (see :meth:`buckets`)."""
         with self._lock:
             count, total = self._count, self._total
+            bucket_counts = list(self._bucket_counts)
             window = np.fromiter(self._samples, dtype=np.float64)
+        buckets: dict[str, int] = {}
+        cumulative = 0
+        for label, bucket_count in zip(_BUCKET_LABELS, bucket_counts):
+            cumulative += bucket_count
+            buckets[label] = cumulative
+        buckets["+Inf"] = count
         if window.size == 0:
             return {"count": count, "mean_ms": 0.0,
-                    "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+                    "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                    "max_ms": 0.0, "buckets": buckets}
         p50, p95, p99 = np.percentile(window, (50, 95, 99))
         return {
             "count": count,
@@ -117,6 +162,7 @@ class LatencyHistogram:
             "p95_ms": round(float(p95) * 1e3, 4),
             "p99_ms": round(float(p99) * 1e3, 4),
             "max_ms": round(float(window.max()) * 1e3, 4),
+            "buckets": buckets,
         }
 
 

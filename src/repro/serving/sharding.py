@@ -501,7 +501,10 @@ class ShardedHammingIndex:
             raise ValidationError(f"queries must stack to (Q, W), got {queries.shape}")
 
         with tracing.span("shards.search", jobs=len(jobs),
-                          unique=len(unique_jobs), shards=len(shards)):
+                          unique=len(unique_jobs),
+                          shards=len(shards)) as search_span:
+            search_span.annotate(backend=self.backend)
+            search_span.add_cost(shards_scanned=len(shards))
             # Shard scans run on pool threads; hand the (possibly traced)
             # context across explicitly so per-shard spans stitch in.
             parent = tracing.capture()

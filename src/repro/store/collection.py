@@ -41,6 +41,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 import numpy as np
 
 from ..errors import DocumentNotFoundError, IndexError_, StoreError
+from ..obs import tracing
 from .columnar import SortedDateColumn, ids_array, intersect_id_arrays, iso_to_int64
 from .indexes import GeoHashIndex, HashIndex, UniqueIndex, _hashable
 from .matcher import (
@@ -470,11 +471,14 @@ class Collection:
                                     ids_array(geo_index.candidates(shape))))
         if not sources:
             return sorted(self._docs.keys()), "scan"
+        loaded = sum(int(ids.shape[0]) for _, ids in sources)
+        tracing.add_cost(postings_loaded=loaded)
         tags = list(dict.fromkeys(tag for tag, _ in sources))
         if len(sources) == 1:
             candidates = sources[0][1]
         else:
             candidates = intersect_id_arrays([ids for _, ids in sources])
+            tracing.add_cost(ids_intersected=loaded)
         plan = tags[0] if len(tags) == 1 else "columnar:" + "&".join(tags)
         return candidates.tolist(), plan
 
@@ -493,6 +497,7 @@ class Collection:
             examined += 1
             if matches(doc, query):
                 matched.append(doc)
+        tracing.add_cost(docs_examined=examined)
         return matched, plan, examined
 
     def find(self, query: "Mapping[str, Any] | None" = None, *,

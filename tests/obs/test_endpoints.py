@@ -112,3 +112,66 @@ class TestSlowQueriesEndpoint:
         payload = EarthQubeAPI(direct_system).slow_queries()
         assert payload["ok"] is True
         assert payload["entries"] == []
+
+
+class TestWorkloadEndpoint:
+    def test_workload_profile_accumulates_query_families(self, served_system):
+        served_system.obs.workload.clear()
+        api = EarthQubeAPI(served_system)
+        for name in served_system.archive.names[:4]:
+            assert api.similar({"name": name, "k": 5})["ok"]
+        payload = api.workload()
+        assert payload["ok"] is True
+        assert payload["recorded_total"] >= 4
+        families = {(f["backend"], f["strategy"], f["selectivity"])
+                    for f in payload["families"]}
+        assert ("mih", "unfiltered", "none") in families
+        json.dumps(payload)
+
+    def test_workload_disabled_is_a_validation_error(self, served_system):
+        workload = served_system.obs.workload
+        try:
+            served_system.obs.workload = None
+            payload = EarthQubeAPI(served_system).workload()
+        finally:
+            served_system.obs.workload = workload
+        assert payload["error"] == "ValidationError"
+
+    def test_workload_prometheus_families_render(self, served_system):
+        api = EarthQubeAPI(served_system)
+        api.similar({"name": served_system.archive.names[0], "k": 5})
+        families = parse_exposition(api.metrics(format="prometheus"))
+        assert "repro_workload_query_latency_seconds" in families
+        assert "repro_workload_query_cost_total" in families
+
+
+class TestExplainCosts:
+    def test_similar_explain_carries_cost_counters(self, served_system):
+        api = EarthQubeAPI(served_system)
+        payload = api.similar({"name": served_system.archive.names[0],
+                               "k": 5, "explain": True})
+        assert payload["ok"] is True
+        explain = payload["explain"]
+        assert explain["costs"], "expected non-empty operator counters"
+        assert explain["stages"]
+        json.dumps(payload)
+
+    def test_search_explain_reports_store_costs(self, served_system):
+        api = EarthQubeAPI(served_system)
+        label = served_system.archive.patches[0].labels[0]
+        payload = api.search({"labels": [label], "explain": True})
+        assert payload["ok"] is True
+        assert "docs_examined" in payload["explain"]["costs"]
+
+    def test_explain_false_has_no_costs_section(self, served_system):
+        api = EarthQubeAPI(served_system)
+        payload = api.similar({"name": served_system.archive.names[0], "k": 5})
+        assert "explain" not in payload
+
+    def test_batch_explain_totals_the_whole_batch(self, served_system):
+        api = EarthQubeAPI(served_system)
+        payload = api.similar_batch(
+            {"names": list(served_system.archive.names[:3]), "k": 3,
+             "explain": True})
+        assert payload["ok"] is True
+        assert payload["explain"]["costs"]

@@ -46,9 +46,18 @@ class TestRequestLifecycle:
         obs = Observability(ObsConfig(sample_rate=0.0))
         with obs.request("similar") as req:
             assert req.is_root and not req.traced
-            assert tracing.current_span() is None
+            # Not a full span — a cost-only ledger collects counters.
+            assert isinstance(tracing.current_span(), tracing.CostSpan)
+        assert tracing.current_span() is None
         assert req.duration_ms is not None
         assert req.tree() is None
+
+    def test_sampled_out_request_with_cost_tracking_off_is_bare(self):
+        obs = Observability(ObsConfig(sample_rate=0.0, cost_tracking=False))
+        with obs.request("similar") as req:
+            assert req.is_root and not req.traced
+            assert tracing.current_span() is None
+        assert req.profile() is None
 
     def test_force_trace_is_inert_when_disabled(self):
         obs = Observability(ObsConfig(enabled=False))

@@ -50,7 +50,8 @@ def parse_exposition(text: str) -> dict:
         assert current is not None and name.startswith(current), \
             f"sample {name} outside its family block ({current})"
         suffix = name[len(current):]
-        assert suffix in ("", "_count", "_sum"), f"stray suffix {suffix!r}"
+        assert suffix in ("", "_count", "_sum", "_bucket"), \
+            f"stray suffix {suffix!r}"
         labels = {}
         if sample.group(2):
             for part in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
@@ -115,6 +116,55 @@ def test_labeled_families_render_with_label_sets(registry):
     failures = families["repro_federation_node_failures_total"]
     assert failures["samples"] == [
         ("repro_federation_node_failures_total", {"node": "a"}, 1.0)]
+
+
+def test_native_histogram_buckets_are_cumulative_and_le_labeled(registry):
+    families = parse_exposition(
+        render_prometheus({"serving": registry.snapshot()}))
+    hist = families["repro_serving_similar_hist_seconds"]
+    assert hist["type"] == "histogram"
+    buckets = [(labels["le"], value) for name, labels, value in hist["samples"]
+               if name.endswith("_bucket")]
+    assert buckets[-1][0] == "+Inf" and buckets[-1][1] == 2.0
+    values = [value for _, value in buckets]
+    assert values == sorted(values), "bucket counts must be cumulative"
+    # 0.010 and 0.030 land at le=0.01 and le=0.05 respectively.
+    by_le = dict(buckets)
+    assert by_le["0.005"] == 0.0
+    assert by_le["0.01"] == 1.0
+    assert by_le["0.05"] == 2.0
+    count = [v for n, _, v in hist["samples"] if n.endswith("_count")]
+    assert count == [2.0]
+
+
+def test_labeled_histogram_buckets_render_per_series(registry):
+    families = parse_exposition(
+        render_prometheus({"federation": registry.snapshot()}))
+    hist = families["repro_federation_node_latency_hist_seconds"]
+    nodes = {labels["node"] for name, labels, _ in hist["samples"]
+             if name.endswith("_bucket")}
+    assert nodes == {"a", "b"}
+    for name, labels, value in hist["samples"]:
+        if name.endswith("_bucket") and labels["le"] == "+Inf":
+            assert value == 1.0
+
+
+def test_workload_tier_renders_labeled_families():
+    from repro.obs import WorkloadStats
+
+    stats = WorkloadStats()
+    stats.record(family=("mih", "prefilter", "<=1%"), duration_ms=3.0,
+                 costs={"buckets_probed": 52, "candidates_verified": 9})
+    families = parse_exposition(
+        render_prometheus({"workload": stats.metrics_snapshot()}))
+    latency = families["repro_workload_query_latency_seconds"]
+    labels = latency["samples"][0][1]
+    assert labels["backend"] == "mih"
+    assert labels["strategy"] == "prefilter"
+    assert labels["selectivity"] == "<=1%"
+    cost = families["repro_workload_query_cost_total"]
+    totals = {labels["counter"]: value for _, labels, value in cost["samples"]}
+    assert totals == {"buckets_probed": 52.0, "candidates_verified": 9.0}
 
 
 def test_both_tiers_render_into_one_exposition(registry):

@@ -157,7 +157,10 @@ class TestObservability:
         try:
             mini_system.gateway = None
             out = EarthQubeAPI(mini_system).metrics()
-            assert out == {"ok": True, "serving": None}
+            assert out["ok"] is True
+            assert out["serving"] is None
+            # The workload tier reports regardless of the serving gateway.
+            assert "workload" in out
         finally:
             mini_system.gateway = gateway
 

@@ -422,3 +422,70 @@ def test_recovered_node_reregisters_with_federation(artifacts, tmp_path):
     want = oracle_fed.similar_images(query, k=5)
     assert ([(str(r.item_id), int(r.distance)) for r in got.value.results]
             == [(str(r.item_id), int(r.distance)) for r in want.value.results])
+
+
+# --------------------------------------------------------------------- #
+# Observability: recovery spans stitch into the caller's trace
+# --------------------------------------------------------------------- #
+
+def test_recovery_trace_stitches_with_cost_counters(artifacts, tmp_path):
+    """A traced restart sees the whole recovery as one span tree: the
+    ``durability.recover`` root with ``recover.load_checkpoint`` and
+    ``recover.replay`` children, carrying the ``codes_restored`` /
+    ``wal_records_replayed`` cost counters a post-incident drill-down
+    needs."""
+    from repro.obs import Tracer, profile_from_tree
+
+    directory = tmp_path / "dur"
+    system = fresh_system(artifacts, directory)
+    DurableEarthQube(system, faults=FaultInjector())
+    system.delete_image(artifacts["names"][0])
+    system.durability.checkpoint()
+    system.delete_image(artifacts["names"][1])
+    system.delete_image(artifacts["names"][2])
+
+    recovered = fresh_system(artifacts, directory)
+    tracer = Tracer(enabled=True, sample_rate=1.0)
+    with tracer.start_trace("restart") as root:
+        durable = DurableEarthQube(recovered, faults=FaultInjector())
+    assert durable.recovery_info["replayed_records"] == 2
+
+    tree = root.as_dict()
+    names: set = set()
+
+    def walk(node):
+        names.add(node["name"])
+        for child in node.get("children", ()):
+            walk(child)
+
+    walk(tree)
+    assert {"durability.recover", "recover.load_checkpoint",
+            "recover.replay"} <= names
+
+    profile = profile_from_tree(tree)
+    assert profile["costs"]["wal_records_replayed"] == 2
+    assert profile["costs"].get("wal_records_skipped", 0) == 0
+    assert profile["costs"]["codes_restored"] > 0
+    replay = profile["stages"]["recover.replay"]
+    assert replay["count"] == 1
+    assert replay["costs"]["wal_records_replayed"] == 2
+
+
+def test_unsampled_recovery_still_measures_costs(artifacts, tmp_path):
+    """Without a sampled trace, the cost-only ledger still captures the
+    recovery counters (credit sampling never gates cost accounting)."""
+    from repro.obs import measure
+
+    directory = tmp_path / "dur"
+    system = fresh_system(artifacts, directory)
+    DurableEarthQube(system, faults=FaultInjector())
+    system.delete_image(artifacts["names"][0])
+
+    recovered = fresh_system(artifacts, directory)
+    with measure("restart") as ledger:
+        durable = DurableEarthQube(recovered, faults=FaultInjector())
+    assert durable.recovery_info["replayed_records"] == 1
+    report = ledger.report()
+    assert report["costs"]["wal_records_replayed"] == 1
+    assert report["costs"]["codes_restored"] > 0
+    assert "recover.replay" in report["stages"]
