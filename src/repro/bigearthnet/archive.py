@@ -56,6 +56,23 @@ class SyntheticArchive:
             raise ValidationError("duplicate patch names in archive")
         self.nomenclature = get_nomenclature()
 
+    @classmethod
+    def empty(cls, config: ArchiveConfig) -> "SyntheticArchive":
+        """An archive with no patches (a replica node awaiting handoff).
+
+        Generated archives must hold at least one patch (training needs
+        data), but an elastic-federation replica starts empty and is
+        populated by online ingest / shard handoff — this bypasses the
+        non-empty validation for exactly that construction.
+        """
+        archive = cls.__new__(cls)
+        archive.config = config
+        archive.patches = []
+        archive._by_name = {}
+        archive._index_by_name = {}
+        archive.nomenclature = get_nomenclature()
+        return archive
+
     # ------------------------------------------------------------------ #
     # Generation
     # ------------------------------------------------------------------ #

@@ -267,6 +267,20 @@ class FederationConfig:
       one node is registered, so a 1-node federation stays byte-identical
       to querying the node directly (the default),
     * ``"always"`` / ``"never"`` — force namespacing on or off.
+
+    **Elastic mode** (``elastic=True``) turns the static registry into a
+    replicated, rebalancing federation: every patch is placed on
+    ``replication_factor`` nodes by a consistent-hash ring
+    (:class:`~repro.federation.placement.PlacementRing` with
+    ``virtual_nodes`` points per member), writes fan out to all replicas
+    (missed writes are parked in a hint log), reads query one healthy
+    replica per ring segment and fall back through the replica chain on
+    failure, and nodes may join/leave live with shard handoff.  Elastic
+    federations treat the members as replicas of *one* logical corpus, so
+    ``namespace_results`` must not be forced ``"always"`` (replica answers
+    deduplicate by bare patch identity).  ``ring_partitions`` buckets
+    patches for the anti-entropy digest comparison;
+    ``repair_interval_s > 0`` starts the background read-repair daemon.
     """
 
     node_timeout_s: float = 5.0
@@ -275,6 +289,11 @@ class FederationConfig:
     breaker_cooldown_s: float = 30.0
     namespace_results: str = "auto"
     histogram_window: int = 1024
+    elastic: bool = False
+    replication_factor: int = 1
+    virtual_nodes: int = 64
+    ring_partitions: int = 32
+    repair_interval_s: float = 0.0
     obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
@@ -289,6 +308,19 @@ class FederationConfig:
                  f"namespace_results must be 'auto', 'always', or 'never', "
                  f"got {self.namespace_results!r}")
         _require(self.histogram_window >= 1, "histogram_window must be >= 1")
+        _require(self.replication_factor >= 1,
+                 f"replication_factor must be >= 1, got {self.replication_factor}")
+        _require(self.elastic or self.replication_factor == 1,
+                 "replication_factor > 1 requires elastic=True")
+        _require(self.virtual_nodes >= 1,
+                 f"virtual_nodes must be >= 1, got {self.virtual_nodes}")
+        _require(self.ring_partitions >= 1,
+                 f"ring_partitions must be >= 1, got {self.ring_partitions}")
+        _require(self.repair_interval_s >= 0.0,
+                 "repair_interval_s must be >= 0")
+        _require(not (self.elastic and self.namespace_results == "always"),
+                 "elastic federations hold replicas of one logical corpus; "
+                 "namespace_results='always' would break replica dedup")
 
 
 @dataclass(frozen=True)

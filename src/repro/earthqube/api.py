@@ -159,6 +159,31 @@ class EarthQubeAPI:
             explain["stages"] = profile["stages"]
         return explain
 
+    def _attach_federation(self, payload: dict, meta) -> dict:
+        """Add the coverage meta; flag responses that lost nodes.
+
+        Whenever the scatter recorded failed nodes the response carries a
+        top-level ``partial`` flag plus the failed node list — clients
+        must not have to dig through ``federation.failed`` to notice.
+        ``partial`` is ``true`` only when the failures actually cost
+        coverage: an elastic federation that answered every ring segment
+        through fallback replicas reports ``partial: false`` (the result
+        is byte-complete) while still naming the failed nodes.  Each
+        coverage-losing response increments the
+        ``federation.partial_responses`` counter on ``GET /metrics``.
+        """
+        if meta is None:
+            return payload
+        payload["federation"] = meta.as_dict()
+        if meta.failed:
+            partial = not meta.coverage_complete
+            payload["partial"] = partial
+            payload["failed_nodes"] = sorted(meta.failed)
+            if partial and self.federation is not None:
+                self.federation.metrics.counter(
+                    "federation.partial_responses").increment()
+        return payload
+
     @staticmethod
     def _parse_filter(payload: "Mapping[str, Any] | None") -> "QuerySpec | None":
         """Parse the optional metadata filter of a CBIR request.
@@ -211,8 +236,7 @@ class EarthQubeAPI:
                 "candidates_examined": response.candidates_examined,
             }
             self._attach_costs(payload["explain"], ctx)
-        if meta is not None:
-            payload["federation"] = meta.as_dict()
+        self._attach_federation(payload, meta)
         return self._attach_trace(payload, ctx)
 
     def similar(self, request: Mapping[str, Any]) -> dict:
@@ -254,8 +278,7 @@ class EarthQubeAPI:
         }
         if explain:
             payload["explain"] = self._attach_costs({}, ctx)
-        if meta is not None:
-            payload["federation"] = meta.as_dict()
+        self._attach_federation(payload, meta)
         return self._attach_trace(payload, ctx)
 
     def similar_batch(self, request: Mapping[str, Any]) -> dict:
@@ -306,8 +329,7 @@ class EarthQubeAPI:
         }
         if explain:
             payload["explain"] = self._attach_costs({}, ctx)
-        if meta is not None:
-            payload["federation"] = meta.as_dict()
+        self._attach_federation(payload, meta)
         return self._attach_trace(payload, ctx)
 
     def delete_image(self, name: str) -> dict:
@@ -350,9 +372,7 @@ class EarthQubeAPI:
             "bars": [{"label": b.label, "count": b.count, "color": b.color}
                      for b in stats],
         }
-        if meta is not None:
-            payload["federation"] = meta.as_dict()
-        return payload
+        return self._attach_federation(payload, meta)
 
     def feedback(self, request: Mapping[str, Any]) -> dict:
         """POST /feedback — store anonymous feedback (always node-local)."""
@@ -385,8 +405,62 @@ class EarthQubeAPI:
         if self.federation is None:
             return {"ok": True, "federated": False, "count": 0, "nodes": []}
         nodes = self.federation.nodes()
-        return {"ok": True, "federated": True, "count": len(nodes),
-                "nodes": nodes}
+        payload = {"ok": True, "federated": True, "count": len(nodes),
+                   "nodes": nodes}
+        if self.federation.elastic:
+            payload["replication"] = {
+                "replication_factor":
+                    self.federation.config.replication_factor,
+                "ring": self.federation.ring.describe(),
+                "pending_hints": self.federation.hints.snapshot(),
+            }
+        return payload
+
+    def federation_join(self, request: Mapping[str, Any]) -> dict:
+        """POST /federation/join — add a node to a live elastic federation.
+
+        Request: ``{"name": "<node>", "serving": false}``.  The new node
+        starts as an empty clone of an existing member (same trained
+        models), receives its shard through seq-stamped snapshot handoff,
+        catches up on writes that raced the transfer, and only then joins
+        the placement ring.  The response reports how many patches/bytes
+        were shipped and how many tail writes were replayed.
+        """
+        try:
+            if self.federation is None:
+                raise ValidationError("this API has no federation wired")
+            if not isinstance(request, Mapping) or "name" not in request:
+                raise ValidationError("join request needs a 'name' field")
+            summary = self.federation.join_node(
+                str(request["name"]),
+                serving=bool(request.get("serving", False)))
+        except ReproError as exc:
+            return self._error(exc)
+        return {"ok": True, "joined": True, **summary}
+
+    def federation_leave(self, request: Mapping[str, Any]) -> dict:
+        """POST /federation/leave — remove a node from an elastic federation.
+
+        Request: ``{"name": "<node>", "graceful": true}``.  Graceful
+        (default): the node ships its shard to the members that inherit
+        its placement, then deregisters — no replication debt.
+        ``graceful: false`` declares the node dead instead: it is ejected
+        immediately and its shard is re-replicated from the surviving
+        replicas (the response lists any patch with no surviving copy).
+        """
+        try:
+            if self.federation is None:
+                raise ValidationError("this API has no federation wired")
+            if not isinstance(request, Mapping) or "name" not in request:
+                raise ValidationError("leave request needs a 'name' field")
+            name = str(request["name"])
+            if request.get("graceful", True):
+                summary = self.federation.leave_node(name)
+            else:
+                summary = self.federation.node_died(name)
+        except ReproError as exc:
+            return self._error(exc)
+        return {"ok": True, "left": True, **summary}
 
     def metrics(self, format: str = "json") -> "dict | str":
         """GET /metrics — serving + federation observability snapshot.
@@ -498,6 +572,13 @@ class EarthQubeAPI:
                 "nodes_total": len(nodes),
                 "nodes_open_circuit": open_circuits,
                 "nodes_available": len(nodes) - open_circuits,
+                # How long each ejected node has been out: an operator (or
+                # autoscaler) reads sustained ages as "replace the node",
+                # transient ones as "a probe will readmit it shortly".
+                "open_breaker_ages_seconds": {
+                    entry["name"]: entry["health"]["open_age_seconds"]
+                    for entry in nodes
+                    if entry["health"]["state"] == "open"},
             }
             ready = ready and len(nodes) > 0 and open_circuits < len(nodes)
         payload["ready"] = ready

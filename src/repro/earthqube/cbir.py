@@ -215,6 +215,29 @@ class CBIRService:
         self._index.add(name, code)
         return code
 
+    def add_code(self, name: str, code: np.ndarray) -> np.ndarray:
+        """Index an already-hashed packed code (replication shard import).
+
+        The federation's shard handoff ships codes between replicas; the
+        receiving node must index the *identical* bits, so this skips
+        feature extraction and hashing entirely (replicas share one
+        trained hasher — re-hashing would only cost time, but importing
+        the shipped code makes the copy bit-exact by construction).
+        """
+        if name in self._code_by_name:
+            raise ValidationError(f"image {name!r} is already indexed")
+        code = np.ascontiguousarray(np.asarray(code, dtype=np.uint64))
+        words = -(-self.hasher.num_bits // 64)
+        if code.shape != (words,):
+            raise ValidationError(
+                f"packed code must have shape ({words},), got {code.shape}")
+        self._code_by_name[name] = code
+        self._row_by_name[name] = len(self._names)
+        self._names.append(name)
+        self._pending.append(code)
+        self._index.add(name, code)
+        return code
+
     # ------------------------------------------------------------------ #
     # Deletion / update lifecycle
     # ------------------------------------------------------------------ #

@@ -191,6 +191,11 @@ class DurableEarthQube:
             tracked_update)
         system.compact_index = self._journaled(
             "index.compact", lambda: {}, system.compact_index)
+        system.import_shard = self._journaled(
+            "shard.import",
+            lambda shard, *, realign=None: {"shard": shard,
+                                            "realign": realign},
+            system.import_shard)
         system.cbir.add_image = self._journaled(
             "cbir.add_image",
             lambda name, features: {
@@ -373,6 +378,8 @@ class DurableEarthQube:
             system.update_image(payload["name"], payload["features"])
         elif op == "index.compact":
             system.compact_index()
+        elif op == "shard.import":
+            system.import_shard(payload["shard"], realign=payload["realign"])
         elif op == "cbir.add_image":
             system.cbir.add_image(payload["name"], payload["features"])
         elif op.startswith("store."):
@@ -440,12 +447,14 @@ class DurableEarthQube:
         descriptor (corpus size and serving state reflect post-recovery
         reality, not what the node advertised before it died).  Returns
         the new :class:`~repro.federation.registry.FederatedNode`.
+
+        Elastic federations do more than swap the handle: a node still on
+        the placement ring drains the writes hinted at it while it was
+        down and realigns its index rows; a node that was ejected
+        (:meth:`~repro.federation.facade.FederatedEarthQube.node_died`)
+        rejoins through the full shard handoff.
         """
-        try:
-            federation.remove_node(node_name)
-        except ReproError:
-            pass  # never registered (or already dropped by the breaker)
-        return federation.add_node(node_name, self.system)
+        return federation.reregister_node(node_name, self.system)
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle

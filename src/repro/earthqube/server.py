@@ -16,6 +16,8 @@ what the browser UI would render.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..bigearthnet.archive import SyntheticArchive
@@ -441,6 +443,131 @@ class EarthQube:
             self.compact_index()
             return True
         return False
+
+    # ------------------------------------------------------------------ #
+    # Replication: empty clones, shard export/import, digests
+    # ------------------------------------------------------------------ #
+
+    def empty_clone(self, *, serving: bool = False) -> "EarthQube":
+        """A fresh data-less node sharing this system's trained models.
+
+        Elastic-federation replicas must produce *bit-identical* hash
+        codes, so the clone shares the trained hasher, the feature
+        extractor, and the label codec by reference; everything data-bound
+        (database, archive, CBIR index, feature matrix) starts empty and
+        is populated by fan-out ingest or shard handoff.
+        """
+        db = Database.earthqube_schema(
+            geo_precision=self.config.geo_index.precision)
+        archive = SyntheticArchive.empty(self.config.archive)
+        cbir = CBIRService(self.hasher, self.extractor, self.config.index)
+        cbir.build([], np.empty((0, self.extractor.dimension)))
+        features = np.empty((0, self.extractor.dimension))
+        clone = type(self)(self.config, archive, db, self.codec,
+                           self.extractor, self.hasher, cbir, features)
+        if serving:
+            clone.enable_serving()
+        return clone
+
+    def export_shard(self, names: "list[str]") -> dict:
+        """Package patches for replication handoff: codes plus documents.
+
+        Entries keep the caller's order — the importer relies on it to
+        reproduce the global insertion sequence on the receiving node.
+        """
+        entries = []
+        for name in names:
+            code = self.cbir.code_of(name)
+            documents: dict[str, dict] = {}
+            for collection_name in (METADATA, IMAGE_DATA, RENDERED_IMAGES):
+                if collection_name in self.db:
+                    doc = self.db[collection_name].find_one({"name": name})
+                    if doc is not None:
+                        documents[collection_name] = doc
+            entries.append({"name": name, "code": code, "documents": documents})
+        return {"entries": entries, "num_bits": self.hasher.num_bits}
+
+    def import_shard(self, shard: dict, *,
+                     realign: "dict[str, int] | None" = None) -> dict:
+        """Apply a shard produced by :meth:`export_shard` to this node.
+
+        Idempotent per patch (an already-indexed name is skipped), so a
+        retried handoff or a replayed WAL record converges.  ``realign``
+        maps patch names to their federation-wide insertion sequence;
+        when given, the index rows are re-sorted to that order afterwards
+        (see :meth:`realign_index_rows` for why replicas must agree on
+        row order).
+        """
+        num_bits = shard.get("num_bits")
+        if num_bits is not None and int(num_bits) != self.hasher.num_bits:
+            raise ValidationError(
+                f"shard code width {num_bits} does not match this node's "
+                f"{self.hasher.num_bits}")
+        imported = 0
+        for entry in shard["entries"]:
+            name = entry["name"]
+            if self.cbir.has(name):
+                continue
+            for collection_name, doc in entry["documents"].items():
+                if collection_name in self.db and \
+                        self.db[collection_name].find_one({"name": name}) is None:
+                    self.db[collection_name].insert_one(dict(doc))
+            code = self.cbir.add_code(name, np.asarray(entry["code"],
+                                                       dtype=np.uint64))
+            if self.gateway is not None:
+                self.gateway.on_ingest(name, code)
+            imported += 1
+        if realign:
+            self.realign_index_rows(realign)
+        return {"imported": imported,
+                "skipped": len(shard["entries"]) - imported}
+
+    def realign_index_rows(self, seq_of: "dict[str, int]") -> bool:
+        """Re-sort the CBIR rows to the global insertion-sequence order.
+
+        kNN truncates each node's ranking at ``k`` using the local
+        ``(distance, row)`` tie-break; replicas only produce byte-identical
+        federated results when every node's local row order is a
+        subsequence of the *global* insertion order.  Handoff into a
+        non-empty node appends rows at the end and can interleave
+        sequences — this rebuilds the rows sorted by ``seq_of[name]``
+        (unknown names keep their relative position, after known ones).
+        Returns whether a reorder was needed.
+        """
+        names, codes = self.cbir.indexed_items()
+
+        def key(pair: "tuple[int, str]") -> "tuple[int, int]":
+            position, name = pair
+            seq = seq_of.get(name)
+            return (0, seq) if seq is not None else (1, position)
+
+        order = sorted(range(len(names)), key=lambda i: key((i, names[i])))
+        if order == list(range(len(names))):
+            return False
+        reordered_names = [names[i] for i in order]
+        reordered_codes = np.ascontiguousarray(codes[order])
+        self.cbir.restore_state(reordered_names, reordered_codes,
+                                np.ones(len(order), dtype=bool))
+        if self.gateway is not None:
+            self.gateway.on_compact()
+        return True
+
+    def shard_digest(self, names: "list[str]") -> str:
+        """Content digest of this node's copies of ``names``.
+
+        Anti-entropy read-repair compares this digest across replicas:
+        equal digests mean every listed patch is present with identical
+        code bits; a missing patch contributes an explicit marker so
+        presence differences change the digest too.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for name in sorted(names):
+            digest.update(name.encode("utf-8"))
+            if self.cbir.has(name):
+                digest.update(self.cbir.code_of(name).tobytes())
+            else:
+                digest.update(b"\x00missing")
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -19,11 +19,27 @@ queryable system:
 * :mod:`repro.federation.facade` — :class:`FederatedEarthQube`, the
   EarthQube-shaped entry point that composes with each node's serving
   tier (sharding, micro-batching, caching).
+
+Elastic mode (``FederationConfig(elastic=True)``) adds replication and
+live membership:
+
+* :mod:`repro.federation.placement` — the consistent-hash
+  :class:`PlacementRing` assigning every patch to R replicas,
+* :mod:`repro.federation.handoff` — :func:`ship_shard`, snapshot-backed
+  shard transfer for join/leave rebalancing,
+* :mod:`repro.federation.repair` — the :class:`HintLog` of writes that
+  missed a down replica and the anti-entropy :class:`ReadRepairer`.
 """
 
 from .breaker import CircuitBreaker
-from .executor import FederatedExecutor, FederatedResultMeta, NodeOutcome
+from .executor import (
+    SKIP_REPLICA_COVERED,
+    FederatedExecutor,
+    FederatedResultMeta,
+    NodeOutcome,
+)
 from .facade import FederatedEarthQube, FederatedResponse
+from .handoff import ship_shard
 from .merge import (
     merge_search,
     merge_similarity,
@@ -31,7 +47,9 @@ from .merge import (
     namespaced_id,
     split_namespaced,
 )
+from .placement import PlacementRing, stable_hash
 from .registry import FederatedNode, NodeCapabilities, NodeRegistry
+from .repair import Hint, HintLog, ReadRepairer
 
 __all__ = [
     "CircuitBreaker",
@@ -40,12 +58,19 @@ __all__ = [
     "FederatedNode",
     "FederatedResponse",
     "FederatedResultMeta",
+    "Hint",
+    "HintLog",
     "NodeCapabilities",
     "NodeOutcome",
     "NodeRegistry",
+    "PlacementRing",
+    "ReadRepairer",
+    "SKIP_REPLICA_COVERED",
     "merge_search",
     "merge_similarity",
     "merge_statistics",
     "namespaced_id",
+    "ship_shard",
     "split_namespaced",
+    "stable_hash",
 ]

@@ -29,7 +29,8 @@ class CircuitBreaker:
     """Thread-safe closed -> open -> half-open -> closed state machine."""
 
     def __init__(self, failure_threshold: int = 3, cooldown_s: float = 30.0,
-                 *, clock: Callable[[], float] = time.monotonic) -> None:
+                 *, clock: Callable[[], float] = time.monotonic,
+                 on_transition: "Callable[[str], None] | None" = None) -> None:
         if failure_threshold < 1:
             raise ValidationError(
                 f"failure_threshold must be >= 1, got {failure_threshold}")
@@ -38,6 +39,9 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock
+        # Called with "opened" / "reclosed" on state transitions (outside
+        # the lock) — the registry wires per-node transition counters here.
+        self._on_transition = on_transition
         self._lock = threading.Lock()
         self._state = CLOSED
         self._consecutive_failures = 0
@@ -79,8 +83,11 @@ class CircuitBreaker:
         with self._lock:
             self.total_successes += 1
             self._consecutive_failures = 0
+            reclosed = self._state != CLOSED
             self._state = CLOSED
             self._probe_in_flight = False
+        if reclosed and self._on_transition is not None:
+            self._on_transition("reclosed")
 
     def record_failure(self) -> None:
         """The call failed: count it, opening at the threshold.
@@ -88,6 +95,7 @@ class CircuitBreaker:
         A failure while half-open re-opens immediately (the probe burnt its
         one chance); the cooldown restarts from now.
         """
+        opened = False
         with self._lock:
             self.total_failures += 1
             self._consecutive_failures += 1
@@ -95,16 +103,33 @@ class CircuitBreaker:
             if was_open or self._consecutive_failures >= self.failure_threshold:
                 if self._state != OPEN:
                     self.times_opened += 1
+                    opened = True
                 self._state = OPEN
                 self._opened_at = self._clock()
             self._probe_in_flight = False
+        if opened and self._on_transition is not None:
+            self._on_transition("opened")
+
+    def open_age_s(self) -> "float | None":
+        """Seconds since the breaker last opened; ``None`` when closed.
+
+        Operators tell a flapping node (small age, large ``times_opened``)
+        from a dead one (monotonically growing age) with this — exposed
+        per node in ``GET /ready``.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return None
+            return max(0.0, self._clock() - self._opened_at)
 
     def snapshot(self) -> dict:
         """JSON-compatible state for ``GET /federation/nodes``."""
+        age = self.open_age_s()
         return {
             "state": self.state,
             "consecutive_failures": self._consecutive_failures,
             "total_successes": self.total_successes,
             "total_failures": self.total_failures,
             "times_opened": self.times_opened,
+            "open_age_seconds": None if age is None else round(age, 3),
         }

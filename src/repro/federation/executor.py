@@ -43,11 +43,13 @@ from typing import Any, Callable, Sequence
 from ..config import FederationConfig
 from ..obs import tracing
 from ..serving.metrics import MetricsRegistry
+from .breaker import CLOSED
 from .registry import FederatedNode, NodeRegistry
 
 SKIP_CIRCUIT_OPEN = "circuit_open"
 SKIP_INCOMPATIBLE = "incompatible_bit_width"
 SKIP_NO_DATA = "no_matching_data"
+SKIP_REPLICA_COVERED = "replica_covered"
 
 
 @dataclass
@@ -79,11 +81,37 @@ class FederatedResultMeta:
     failed: dict[str, str] = field(default_factory=dict)
     skipped: dict[str, str] = field(default_factory=dict)
     latency_s: dict[str, float] = field(default_factory=dict)
+    #: Replicated reads only: failed/ejected reader -> the replica that
+    #: answered for its ring segments instead (the fallback wave).
+    recovered: dict[str, str] = field(default_factory=dict)
+    #: Replicated reads only: ring segments no replica could answer for.
+    lost_segments: int = 0
 
     @property
     def complete(self) -> bool:
         """Did every registered node contribute to the merged result?"""
         return not self.failed and not self.skipped
+
+    @property
+    def coverage_complete(self) -> bool:
+        """Does the merged result cover every patch despite failures?
+
+        Unreplicated scatters need every node (``complete``); replicated
+        reads only need one live replica per ring segment, so a failed or
+        circuit-ejected reader whose segments a fallback replica answered
+        still yields full coverage.
+        """
+        if self.lost_segments:
+            return False
+        for name in self.failed:
+            if name not in self.recovered and name not in self.answered:
+                return False
+        for name, reason in self.skipped.items():
+            if reason == SKIP_REPLICA_COVERED:
+                continue
+            if name not in self.recovered:
+                return False
+        return True
 
     def as_dict(self) -> dict:
         return {
@@ -93,6 +121,9 @@ class FederatedResultMeta:
             "failed": dict(self.failed),
             "skipped": dict(self.skipped),
             "complete": self.complete,
+            "coverage_complete": self.coverage_complete,
+            "recovered": dict(self.recovered),
+            "lost_segments": self.lost_segments,
             "latency_ms": {name: round(seconds * 1e3, 4)
                            for name, seconds in self.latency_s.items()},
         }
@@ -167,6 +198,93 @@ class FederatedExecutor:
                                       failed=len(meta.failed))
                 scatter_span.add_cost(nodes_answered=len(meta.answered),
                                       nodes_failed=len(meta.failed))
+        return outcomes, meta
+
+    def scatter_replicated(self, fn: Callable[[FederatedNode], Any], *,
+                           chains: "Sequence[tuple[str, ...]]",
+                           targets: "Sequence[FederatedNode] | None" = None,
+                           pre_skipped: "dict[str, str] | None" = None,
+                           ) -> tuple[list[NodeOutcome], FederatedResultMeta]:
+        """Read one-of-R: cover every replica chain with healthy readers.
+
+        ``chains`` are the placement ring's distinct replica sets (every
+        patch's replicas equal exactly one chain), so an answer from one
+        member of each chain covers the whole corpus.  The plan greedily
+        picks one reader per chain — preferring a node already chosen for
+        another chain (fewest nodes queried), then the first replica in
+        placement order whose breaker is closed — and scatters wave by
+        wave: a reader that fails or is ejected by its breaker has its
+        chains retried on the next untried replica in the chain, and the
+        recovery is recorded in ``meta.recovered`` (the deduplicating
+        merge absorbs any overlap).  A chain that runs out of replicas
+        counts as a lost segment (``meta.lost_segments``), the only case
+        where ``meta.coverage_complete`` turns false.
+        """
+        available = {node.name: node
+                     for node in (targets if targets is not None
+                                  else list(self.registry))}
+        meta = FederatedResultMeta(nodes_total=len(self.registry))
+        if pre_skipped:
+            meta.skipped.update(pre_skipped)
+
+        outcomes: list[NodeOutcome] = []
+        answered: set[str] = set()
+        attempted: set[str] = set()
+        chain_failures: "dict[tuple[str, ...], list[str]]" = \
+            {chain: [] for chain in chains}
+        pending = list(chains)
+        while True:
+            need = [chain for chain in pending
+                    if not any(member in answered for member in chain)]
+            if not need:
+                pending = []
+                break
+            picks: "dict[tuple[str, ...], str]" = {}
+            wave: "dict[str, FederatedNode]" = {}
+            for chain in need:
+                candidates = [member for member in chain
+                              if member in available and member not in attempted]
+                if not candidates:
+                    continue
+                pick = next((m for m in candidates if m in wave), None)
+                if pick is None:
+                    pick = next(
+                        (m for m in candidates
+                         if self.registry.breaker_of(m).state == CLOSED),
+                        candidates[0])
+                picks[chain] = pick
+                wave[pick] = available[pick]
+            if not wave:
+                pending = need
+                break
+            # Registry order keeps outcome (and merge-input) order stable.
+            wave_nodes = [wave[name] for name in self.registry.names
+                          if name in wave]
+            wave_outcomes, wave_meta = self.scatter(fn, nodes=wave_nodes)
+            outcomes.extend(wave_outcomes)
+            meta.queried.extend(wave_meta.queried)
+            meta.answered.extend(wave_meta.answered)
+            meta.failed.update(wave_meta.failed)
+            meta.skipped.update(wave_meta.skipped)
+            meta.latency_s.update(wave_meta.latency_s)
+            answered.update(wave_meta.answered)
+            attempted.update(wave)
+            for chain, pick in picks.items():
+                if pick in answered:
+                    for earlier in chain_failures[chain]:
+                        meta.recovered.setdefault(earlier, pick)
+                else:
+                    chain_failures[chain].append(pick)
+            pending = need
+
+        uncovered = {chain for chain in pending
+                     if not any(member in answered for member in chain)}
+        meta.lost_segments = len(uncovered)
+        for name in available:
+            if name not in attempted:
+                meta.skipped.setdefault(name, SKIP_REPLICA_COVERED)
+        order = {name: i for i, name in enumerate(self.registry.names)}
+        outcomes.sort(key=lambda o: order.get(o.node_name, len(order)))
         return outcomes, meta
 
     def _spawn(self, fn: Callable[[FederatedNode], Any],

@@ -19,7 +19,7 @@ unique; :func:`namespaced_id` disambiguates them as ``node/patch_name``
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..earthqube.search import SearchResponse
 from ..earthqube.statistics import LabelBar, LabelStatistics
@@ -50,13 +50,24 @@ def split_namespaced(name: str) -> "tuple[str | None, str]":
 
 def merge_similarity(per_node: "Sequence[tuple[str, list, int]]", *,
                      k: "int | None" = None, radius: "int | None" = None,
-                     namespace: bool = False) -> "tuple[list[SearchResult], int]":
+                     namespace: bool = False, dedupe: bool = False,
+                     order_of: "Callable[[object], int] | None" = None,
+                     ) -> "tuple[list[SearchResult], int]":
     """Merge per-node CBIR rankings into one global ranking.
 
     ``per_node`` must be in registry order.  For kNN queries (``radius is
     None``) the merged ranking is truncated back to ``k`` and the radius
     used is the last kept distance — exactly how the single-node paths
     report it.  Radius queries keep everything within the radius.
+
+    ``dedupe=True`` is the replicated-federation variant: several nodes
+    hold copies of the same patch, so answers first deduplicate by patch
+    identity (replicas share the hasher, so duplicate answers carry
+    identical distances — the first occurrence in registry order is
+    kept), then sort by the *global* ``(distance, insertion seq)``
+    tie-break, where ``order_of(item_id)`` returns the federation-wide
+    insertion sequence.  That ordering is independent of *which* replica
+    answered — the elastic byte-identity guarantee.
     """
     merged: list[SearchResult] = []
     for node_name, results, _used in per_node:
@@ -65,8 +76,19 @@ def merge_similarity(per_node: "Sequence[tuple[str, list, int]]", *,
                                        r.distance) for r in results)
         else:
             merged.extend(results)
-    # Stable sort by distance == global (distance, node order, row) order.
-    merged.sort(key=lambda r: r.distance)
+    if dedupe:
+        first: dict[object, SearchResult] = {}
+        for r in merged:
+            if r.item_id not in first:
+                first[r.item_id] = r
+        merged = list(first.values())
+        if order_of is not None:
+            merged.sort(key=lambda r: (r.distance, order_of(r.item_id)))
+        else:
+            merged.sort(key=lambda r: r.distance)
+    else:
+        # Stable sort by distance == global (distance, node order, row) order.
+        merged.sort(key=lambda r: r.distance)
     if radius is not None:
         return merged, radius
     if k is not None:
@@ -76,7 +98,8 @@ def merge_similarity(per_node: "Sequence[tuple[str, list, int]]", *,
 
 def merge_search(per_node: "Sequence[tuple[str, SearchResponse]]", *,
                  skip: int = 0, limit: "int | None" = None,
-                 namespace: bool = False) -> SearchResponse:
+                 namespace: bool = False, dedupe: bool = False,
+                 order_of: "Callable[[str], int] | None" = None) -> SearchResponse:
     """Merge per-node search pages into one globally paginated response.
 
     The caller queries every node with ``skip=0`` and ``limit=skip+limit``
@@ -84,6 +107,13 @@ def merge_search(per_node: "Sequence[tuple[str, SearchResponse]]", *,
     *global* skip/limit over the concatenation in registry order.  With one
     answering node the result is byte-identical to that node's own
     response to the original query.
+
+    ``dedupe=True`` is the replicated-federation variant: each node was
+    asked for *all* its matches (no per-node page), duplicates collapse by
+    document name (replica copies are identical documents), the distinct
+    documents sort by the global insertion sequence ``order_of(name)`` —
+    document order in a single store is ascending doc-id, i.e. ingest
+    order — and ``total_matches`` counts distinct documents.
     """
     documents: list[dict] = []
     total_matches = 0
@@ -98,6 +128,14 @@ def merge_search(per_node: "Sequence[tuple[str, SearchResponse]]", *,
         total_matches += response.total_matches
         candidates += response.candidates_examined
         plans.append(response.plan)
+    if dedupe:
+        first: dict[str, dict] = {}
+        for doc in documents:
+            first.setdefault(doc["name"], doc)
+        documents = list(first.values())
+        if order_of is not None:
+            documents.sort(key=lambda doc: order_of(doc["name"]))
+        total_matches = len(documents)
     if skip:
         documents = documents[skip:]
     if limit is not None:

@@ -1,0 +1,171 @@
+"""Consistent-hash placement: which R nodes own each patch.
+
+AgoraEO members come and go; placement must survive that without
+reshuffling the world.  A :class:`PlacementRing` hashes every member onto
+a ring at ``virtual_nodes`` points and assigns each patch name to the
+first ``replication_factor`` *distinct* members clockwise from the
+patch's own hash — the classic consistent-hash scheme, so a membership
+change only moves the keys adjacent to the changed node's points.
+
+Everything here must be deterministic across processes and Python runs:
+
+* hashing uses :func:`stable_hash` (blake2b), never the salted builtin
+  ``hash()``,
+* :meth:`replicas_for` returns the replicas in **placement order** (ring
+  order) — the read planner prefers earlier replicas and read-repair
+  treats the earliest healthy replica as authoritative, so every caller
+  agrees on the same ordering,
+* :meth:`replica_chains` enumerates the distinct replica sets over all
+  ring segments, in first-appearance ring order: a reader set touching
+  at least one member of every chain covers every possible key.
+
+The ring also buckets keys into ``partitions`` (:meth:`partition_of`) —
+the unit of anti-entropy digest comparison in
+:mod:`repro.federation.repair`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from ..errors import ValidationError
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of a string key."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class PlacementRing:
+    """Consistent-hash ring with virtual nodes and R-way placement."""
+
+    def __init__(self, *, replication_factor: int = 1, virtual_nodes: int = 64,
+                 partitions: int = 32) -> None:
+        if replication_factor < 1:
+            raise ValidationError(
+                f"replication_factor must be >= 1, got {replication_factor}")
+        if virtual_nodes < 1:
+            raise ValidationError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        if partitions < 1:
+            raise ValidationError(f"partitions must be >= 1, got {partitions}")
+        self.replication_factor = replication_factor
+        self.virtual_nodes = virtual_nodes
+        self.partitions = partitions
+        self._members: list[str] = []          # insertion order
+        self._points: list[tuple[int, str]] = []  # sorted (hash, member)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def members(self) -> list[str]:
+        """Ring members in the order they were added."""
+        return list(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def add_node(self, name: str) -> None:
+        """Add a member at its ``virtual_nodes`` deterministic points."""
+        if name in self._members:
+            raise ValidationError(f"node {name!r} is already on the ring")
+        self._members.append(name)
+        for v in range(self.virtual_nodes):
+            self._points.append((stable_hash(f"{name}#{v}"), name))
+        self._points.sort()
+
+    def remove_node(self, name: str) -> None:
+        if name not in self._members:
+            raise ValidationError(f"node {name!r} is not on the ring")
+        self._members.remove(name)
+        self._points = [(h, m) for h, m in self._points if m != name]
+
+    def copy(self) -> "PlacementRing":
+        """An independent ring with the same members and parameters."""
+        clone = PlacementRing(replication_factor=self.replication_factor,
+                              virtual_nodes=self.virtual_nodes,
+                              partitions=self.partitions)
+        clone._members = list(self._members)
+        clone._points = list(self._points)
+        return clone
+
+    def with_node(self, name: str) -> "PlacementRing":
+        """A copy with one more member (for prospective-placement planning)."""
+        clone = self.copy()
+        clone.add_node(name)
+        return clone
+
+    def without_node(self, name: str) -> "PlacementRing":
+        """A copy with one member removed."""
+        clone = self.copy()
+        clone.remove_node(name)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+
+    def _walk(self, start: int) -> "tuple[str, ...]":
+        """First R distinct members clockwise from point index ``start``."""
+        replicas: list[str] = []
+        n = len(self._points)
+        for step in range(n):
+            member = self._points[(start + step) % n][1]
+            if member not in replicas:
+                replicas.append(member)
+                if len(replicas) == self.replication_factor:
+                    break
+        return tuple(replicas)
+
+    def replicas_for(self, key: str) -> "tuple[str, ...]":
+        """The nodes owning ``key``, in deterministic placement order.
+
+        Fewer than R members means every member is a replica (placement
+        degrades gracefully while the federation is small).
+        """
+        if not self._points:
+            return ()
+        start = bisect_right(self._points, (stable_hash(key), "￿"))
+        return self._walk(start % len(self._points))
+
+    def replica_chains(self) -> "list[tuple[str, ...]]":
+        """Distinct replica sets across all ring segments, in ring order.
+
+        Every key's :meth:`replicas_for` equals exactly one chain, so a
+        reader set that intersects every chain covers every key.
+        """
+        chains: list[tuple[str, ...]] = []
+        seen: set[tuple[str, ...]] = set()
+        for start in range(len(self._points)):
+            chain = self._walk(start)
+            if chain not in seen:
+                seen.add(chain)
+                chains.append(chain)
+        return chains
+
+    def partition_of(self, key: str) -> int:
+        """Stable partition bucket of a key (anti-entropy digest unit)."""
+        return stable_hash(key) % self.partitions
+
+    def describe(self) -> dict:
+        """Ring summary: members, parameters, per-member ownership share."""
+        shares: dict[str, float] = {m: 0.0 for m in self._members}
+        if self._points:
+            span = float(2 ** 64)
+            for i, (point, member) in enumerate(self._points):
+                prev = self._points[i - 1][0] if i else self._points[-1][0] - 2 ** 64
+                shares[member] += (point - prev) / span
+        return {
+            "members": list(self._members),
+            "replication_factor": self.replication_factor,
+            "virtual_nodes": self.virtual_nodes,
+            "partitions": self.partitions,
+            "ownership_share": {m: round(s, 4) for m, s in shares.items()},
+        }

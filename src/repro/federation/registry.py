@@ -142,6 +142,33 @@ class FederatedNode:
         """Delete one of this archive's images (store + index together)."""
         return self.system.delete_image(name)
 
+    # ------------------------------------------------------------------ #
+    # Replication surface (write fan-out, handoff, anti-entropy)
+    # ------------------------------------------------------------------ #
+
+    def ingest_new_patch(self, patch, *, auto_label_if_missing: bool = False,
+                         k: int = 10) -> dict:
+        """Apply one fanned-out ingest to this replica."""
+        return self.system.ingest_new_patch(
+            patch, auto_label_if_missing=auto_label_if_missing, k=k)
+
+    def update_image(self, name: str, features: np.ndarray) -> dict:
+        """Apply one fanned-out re-embedding to this replica."""
+        return self.system.update_image(name, features)
+
+    def export_shard(self, names: list[str]) -> dict:
+        """Package this replica's copies of ``names`` for handoff."""
+        return self.system.export_shard(names)
+
+    def import_shard(self, shard: dict, *,
+                     realign: "dict[str, int] | None" = None) -> dict:
+        """Apply a handoff shard to this replica."""
+        return self.system.import_shard(shard, realign=realign)
+
+    def shard_digest(self, names: list[str]) -> str:
+        """Content digest of this replica's copies (anti-entropy)."""
+        return self.system.shard_digest(names)
+
     def __repr__(self) -> str:
         return f"FederatedNode({self.name!r}, corpus={len(self.system.cbir)})"
 
@@ -158,10 +185,14 @@ class NodeRegistry:
     """Ordered, thread-safe collection of federation members."""
 
     def __init__(self, *, failure_threshold: int = 3, cooldown_s: float = 30.0,
-                 clock: "Callable[[], float] | None" = None) -> None:
+                 clock: "Callable[[], float] | None" = None,
+                 metrics=None) -> None:
         self._failure_threshold = failure_threshold
         self._cooldown_s = cooldown_s
         self._clock = clock
+        # Optional MetricsRegistry: breaker state transitions become
+        # per-node labeled counters (breaker.opened / breaker.reclosed).
+        self._metrics = metrics
         self._lock = threading.Lock()
         self._entries: dict[str, _NodeEntry] = {}
 
@@ -178,8 +209,16 @@ class NodeRegistry:
         with self._lock:
             return iter([entry.node for entry in self._entries.values()])
 
-    def _new_breaker(self) -> CircuitBreaker:
+    def _new_breaker(self, node_name: str) -> CircuitBreaker:
         kwargs = {} if self._clock is None else {"clock": self._clock}
+        if self._metrics is not None:
+            metrics = self._metrics
+
+            def on_transition(event: str,
+                              _node: str = node_name) -> None:
+                metrics.counter(f"breaker.{event}", node=_node).increment()
+
+            kwargs["on_transition"] = on_transition
         return CircuitBreaker(self._failure_threshold, self._cooldown_s, **kwargs)
 
     def add(self, node: FederatedNode) -> FederatedNode:
@@ -190,7 +229,7 @@ class NodeRegistry:
         with self._lock:
             if node.name in self._entries:
                 raise ValidationError(f"node {node.name!r} is already registered")
-            self._entries[node.name] = _NodeEntry(node, self._new_breaker())
+            self._entries[node.name] = _NodeEntry(node, self._new_breaker(node.name))
         return node
 
     def remove(self, name: str) -> None:

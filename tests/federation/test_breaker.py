@@ -87,10 +87,42 @@ def test_snapshot_accounting(clock):
     breaker.record_success()
     breaker.record_failure()
     breaker.record_failure()
+    clock.advance(4.0)
     snap = breaker.snapshot()
     assert snap == {"state": OPEN, "consecutive_failures": 2,
                     "total_successes": 1, "total_failures": 2,
-                    "times_opened": 1}
+                    "times_opened": 1, "open_age_seconds": 4.0}
+
+
+def test_open_age_tracks_the_outage(clock):
+    breaker = CircuitBreaker(1, 10.0, clock=clock)
+    assert breaker.open_age_s() is None
+    breaker.record_failure()
+    clock.advance(2.5)
+    assert breaker.open_age_s() == 2.5
+    clock.advance(7.5)
+    assert breaker.allow()          # half-open probe: still an open outage
+    assert breaker.open_age_s() == 10.0
+    breaker.record_success()
+    assert breaker.open_age_s() is None
+    assert breaker.snapshot()["open_age_seconds"] is None
+
+
+def test_transition_callback_fires_on_open_and_reclose(clock):
+    events: list[str] = []
+    breaker = CircuitBreaker(2, 10.0, clock=clock, on_transition=events.append)
+    breaker.record_failure()
+    assert events == []             # below threshold: no transition
+    breaker.record_failure()
+    assert events == ["opened"]
+    breaker.record_failure()
+    assert events == ["opened"]     # already open: not re-counted
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert events == ["opened", "reclosed"]
+    breaker.record_success()
+    assert events == ["opened", "reclosed"]  # closed stays closed
 
 
 def test_validation():

@@ -71,6 +71,47 @@ class TestMergeSimilarity:
         assert merged == [] and used == 0
 
 
+class TestMergeSimilarityDedupe:
+    """Replica answers repeat the same patches; dedupe collapses them."""
+
+    def test_duplicate_ids_collapse_to_one(self):
+        a = results(("p", 1), ("q", 2))
+        b = results(("p", 1), ("q", 2))
+        merged, used = merge_similarity([("a", a, 2), ("b", b, 2)],
+                                        k=4, dedupe=True)
+        assert [r.item_id for r in merged] == ["p", "q"]
+        assert used == 2
+
+    def test_first_occurrence_wins(self):
+        # A stale replica reports a different distance for the same patch;
+        # dedupe keeps the first occurrence in merge order.
+        a = results(("p", 1))
+        b = results(("p", 3))
+        merged, _ = merge_similarity([("a", a, 1), ("b", b, 3)],
+                                     k=2, dedupe=True)
+        assert len(merged) == 1
+        assert merged[0].distance == 1
+
+    def test_order_of_breaks_distance_ties(self):
+        # Global insertion sequence, not node order, decides ties: "new"
+        # was inserted federation-wide before "old" despite node order.
+        seq = {"old": 7, "new": 3}
+        a = results(("old", 2))
+        b = results(("new", 2))
+        merged, _ = merge_similarity(
+            [("a", a, 2), ("b", b, 2)], k=2, dedupe=True,
+            order_of=lambda item: (0, seq[item]))
+        assert [r.item_id for r in merged] == ["new", "old"]
+
+    def test_truncation_happens_after_dedupe(self):
+        # k=2 must yield 2 *distinct* patches, not 2 slots eaten by copies.
+        a = results(("p", 0), ("q", 1))
+        b = results(("p", 0), ("r", 1))
+        merged, _ = merge_similarity([("a", a, 1), ("b", b, 1)],
+                                     k=2, dedupe=True)
+        assert [r.item_id for r in merged] == ["p", "q"]
+
+
 class TestMergeSearch:
     @staticmethod
     def page(names, total, plan="scan"):
@@ -100,6 +141,29 @@ class TestMergeSearch:
             [("a", self.page(["p", "q"], 2)), ("b", self.page(["p"], 1))],
             namespace=True)
         assert merged.names == ["a/p", "a/q", "b/p"]
+
+    def test_dedupe_counts_each_patch_once(self):
+        # Two replicas answer with overlapping copies: total_matches is
+        # the number of distinct patches, not the sum of page sizes.
+        merged = merge_search(
+            [("a", self.page(["p", "q"], 2)), ("b", self.page(["q", "r"], 2))],
+            dedupe=True)
+        assert merged.names == ["p", "q", "r"]
+        assert merged.total_matches == 3
+
+    def test_dedupe_orders_by_global_sequence(self):
+        seq = {"p": 2, "q": 0, "r": 1}
+        merged = merge_search(
+            [("a", self.page(["p", "q"], 2)), ("b", self.page(["r"], 1))],
+            dedupe=True, order_of=lambda name: (0, seq[name]))
+        assert merged.names == ["q", "r", "p"]
+
+    def test_dedupe_paginates_the_distinct_set(self):
+        merged = merge_search(
+            [("a", self.page(["p", "q"], 2)), ("b", self.page(["p", "r"], 2))],
+            skip=1, limit=1, dedupe=True)
+        assert merged.names == ["q"]
+        assert merged.total_matches == 3
 
 
 class TestMergeStatistics:

@@ -27,7 +27,8 @@ class TestHealthAndReady:
         assert payload["ready"] is True
         assert payload["system"] is None
         assert payload["federation"] == {
-            "nodes_total": 2, "nodes_open_circuit": 0, "nodes_available": 2}
+            "nodes_total": 2, "nodes_open_circuit": 0, "nodes_available": 2,
+            "open_breaker_ages_seconds": {}}
 
     def test_ready_is_json_serializable(self, served_system, federation):
         json.dumps(EarthQubeAPI(served_system, federation=federation).ready())
