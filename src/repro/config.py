@@ -142,6 +142,14 @@ class IndexConfig:
       unfiltered traffic, so it wins for broad filters.
 
     Both plans return byte-identical rankings; the policy is cost-only.
+
+    .. deprecated::
+        ``prefilter_max_selectivity`` and ``postfilter_overfetch`` are
+        superseded by the cost-based planner (:class:`PlannerConfig`).
+        While the planner is enabled, setting them away from their
+        defaults keeps the legacy behaviour (threshold pins the pre/post
+        choice, the factor feeds the over-fetch formula) but emits a
+        :class:`DeprecationWarning`.
     """
 
     hamming_radius: int = 2
@@ -362,6 +370,37 @@ class DurabilityConfig:
 
 
 @dataclass(frozen=True)
+class PlannerConfig:
+    """Cost-based query-planner settings (:mod:`repro.planner`).
+
+    * ``enabled`` — when on, ``strategy="auto"`` similarity queries are
+      planned by :class:`~repro.planner.QueryPlanner`: candidate physical
+      plans (backend, pre/post filter, over-fetch, MIH ladder depth) are
+      priced with calibrated unit costs plus live workload statistics and
+      the cheapest wins.  When off, the legacy scattered heuristics
+      (``IndexConfig.prefilter_max_selectivity`` et al.) apply unchanged.
+    * ``calibration_path`` — calibration sidecar auto-loaded at system
+      construction (``repro calibrate --out calibration.json``); when the
+      file is missing the planner prices with built-in default units and
+      reports ``calibrated=False`` (the ``planner.calibrated`` gauge).
+    * ``overfetch_factor`` — safety margin on the ``k / selectivity``
+      initial fetch of post-filter plans (same formula the legacy
+      ``IndexConfig.postfilter_overfetch`` knob fed).
+
+    Every plan in the planner's search space returns byte-identical
+    rankings; this config only moves latency around.
+    """
+
+    enabled: bool = True
+    calibration_path: "str | None" = "calibration.json"
+    overfetch_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        _require(self.overfetch_factor >= 1.0,
+                 "overfetch_factor must be >= 1")
+
+
+@dataclass(frozen=True)
 class GeoIndexConfig:
     """Geohash 2D-index settings for the document store (data tier)."""
 
@@ -381,6 +420,7 @@ class EarthQubeConfig:
     milan: MiLaNConfig = field(default_factory=MiLaNConfig)
     train: TrainConfig = field(default_factory=TrainConfig)
     index: IndexConfig = field(default_factory=IndexConfig)
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
     geo_index: GeoIndexConfig = field(default_factory=GeoIndexConfig)
     serving: ServingConfig = field(default_factory=ServingConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)

@@ -152,11 +152,25 @@ class EarthQubeAPI:
         the operator stages with per-stage self-time.  Both come from the
         span tree when traced, from the cost-only ledger otherwise, and
         are omitted only when cost tracking is disabled.
+
+        When the query planner recorded its decision on the span tree the
+        section also carries ``plan`` (the similarity planner's chosen
+        plan, the rejected alternatives with predicted costs, and the
+        measured execution cost) and ``store_plan`` (the columnar
+        intersection-order decision).  Legacy string ``plan`` annotations
+        (the metadata access path) are left to the route's own fields.
         """
         profile = request_ctx.profile()
         if profile is not None:
             explain["costs"] = profile["costs"]
             explain["stages"] = profile["stages"]
+            attrs = profile.get("attrs") or {}
+            plan = attrs.get("plan")
+            if isinstance(plan, dict) and "plan" not in explain:
+                explain["plan"] = plan
+            store_plan = attrs.get("store_plan")
+            if isinstance(store_plan, dict) and "store_plan" not in explain:
+                explain["store_plan"] = store_plan
         return explain
 
     def _attach_federation(self, payload: dict, meta) -> dict:
@@ -203,10 +217,13 @@ class EarthQubeAPI:
     def search(self, request: Mapping[str, Any]) -> dict:
         """POST /search — query-panel search (federated when configured).
 
-        ``explain=true`` adds an ``explain`` section with the access-path
-        ``plan`` and ``candidates_examined`` (how many index candidates the
-        matcher verified) from the store's query planner.  ``trace=true``
-        adds ``trace_id`` and the request's span ``trace`` tree.
+        ``explain=true`` adds an ``explain`` section whose ``plan`` object
+        carries the access-path ``query_plan`` string plus — when the
+        store's cost-ordered intersection ran — the chosen source order,
+        the rejected declaration order with predicted costs, and the
+        measured intersection cost; ``candidates_examined`` counts the
+        index candidates the matcher verified.  ``trace=true`` adds
+        ``trace_id`` and the request's span ``trace`` tree.
         """
         try:
             if not isinstance(request, Mapping):
@@ -231,11 +248,12 @@ class EarthQubeAPI:
             "documents": response.documents,
         }
         if explain:
-            payload["explain"] = {
-                "plan": response.plan,
-                "candidates_examined": response.candidates_examined,
-            }
-            self._attach_costs(payload["explain"], ctx)
+            section = self._attach_costs(
+                {"candidates_examined": response.candidates_examined}, ctx)
+            plan_section = {"query_plan": response.plan}
+            plan_section.update(section.pop("store_plan", None) or {})
+            section["plan"] = plan_section
+            payload["explain"] = section
         self._attach_federation(payload, meta)
         return self._attach_trace(payload, ctx)
 
@@ -247,7 +265,11 @@ class EarthQubeAPI:
         optional ``filter`` object (search-request schema) restricts the
         ranking to metadata-matching images (filtered similarity).
         ``explain=true`` adds an ``explain`` section with the request's
-        operator cost counters and per-stage self-times.
+        operator cost counters, per-stage self-times, and the query
+        planner's ``plan`` record — chosen physical plan, rejected
+        alternatives with predicted costs, and the measured execution
+        cost (plus ``store_plan`` when a metadata filter ran the columnar
+        intersection planner).
         """
         try:
             if not isinstance(request, Mapping) or "name" not in request:
@@ -289,6 +311,8 @@ class EarthQubeAPI:
         object applied to the whole batch.  The whole batch executes one
         coalesced index pass; the response carries one entry per name, in
         request order, each shaped exactly like a ``/similar`` response.
+        ``explain=true`` adds the batch's cost counters and the planner's
+        ``plan`` record, as on ``/similar``.
         """
         try:
             if not isinstance(request, Mapping):

@@ -26,6 +26,7 @@ equal to a brute-force filter-then-rank oracle.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
@@ -40,6 +41,8 @@ from ..index.hamming import TombstoneSet
 from ..index.mih import MultiIndexHashing
 from ..index.results import SearchResult
 from ..obs import tracing
+from ..planner import PhysicalPlan, PlanChoice, QueryPlanner, \
+    deprecated_overrides
 from .query import QuerySpec
 
 _FILTER_MODES = ("auto", "pre", "post")
@@ -112,12 +115,20 @@ class CBIRService:
     """MiLaN-backed similarity search over an indexed archive."""
 
     def __init__(self, hasher: MiLaNHasher, extractor: FeatureExtractor,
-                 config: "IndexConfig | None" = None) -> None:
+                 config: "IndexConfig | None" = None, *,
+                 planner: "QueryPlanner | None" = None) -> None:
         if not hasher.is_fitted:
             raise ValidationError("CBIRService requires a fitted MiLaNHasher")
         self.hasher = hasher
         self.extractor = extractor
         self.config = config or IndexConfig()
+        # The cost-based query planner; the system facade replaces this with
+        # its shared (calibration-loaded, workload-fed) instance.
+        self.planner = planner if planner is not None else QueryPlanner()
+        # Deprecated IndexConfig knobs become planner overrides (one
+        # DeprecationWarning at construction, silent when planner disabled).
+        self._planner_overrides = deprecated_overrides(
+            self.config, warn=self.planner.config.enabled)
         self._index = MultiIndexHashing(hasher.num_bits, self.config.mih_tables)
         # The paper's in-memory hash table: patch name -> packed binary code.
         self._code_by_name: dict[str, np.ndarray] = {}
@@ -137,6 +148,14 @@ class CBIRService:
         # Optional QuerySpec -> RowFilter resolver, attached by the system
         # facade so `filter=QuerySpec(...)` works at this level too.
         self.spec_resolver = None
+
+    def use_planner(self, planner: QueryPlanner) -> None:
+        """Adopt a shared planner instance (the system facade's
+        calibration-loaded, workload-fed one).  Deprecated-knob overrides
+        are recomputed against the new planner without re-warning — the
+        construction-time warning already fired."""
+        self.planner = planner
+        self._planner_overrides = deprecated_overrides(self.config, warn=False)
 
     def __len__(self) -> int:
         return len(self._code_by_name)
@@ -447,6 +466,7 @@ class CBIRService:
     def _postfilter_knn(self, code: np.ndarray, k: int,
                         row_filter: RowFilter,
                         *, start_fetch: "int | None" = None,
+                        probe_budget: "int | None" = None,
                         ) -> list[SearchResult]:
         """Adaptive over-fetch + refill: unfiltered kNN, screened by name.
 
@@ -459,11 +479,80 @@ class CBIRService:
         fetch = start_fetch if start_fetch is not None else \
             self._initial_fetch(k, row_filter)
         while True:
-            results = self._index.search_knn(code, fetch)
+            results = self._index.search_knn(code, fetch,
+                                             probe_budget=probe_budget)
             kept = [r for r in results if r.item_id in row_filter.names]
             if len(kept) >= k or fetch >= n:
                 return kept[:k]
             fetch = min(n, fetch * 4)
+
+    def _plan_for(self, row_filter: "RowFilter | None", *, k: "int | None",
+                  radius: "int | None", strategy: str,
+                  plan_hint: "dict | None" = None) -> PlanChoice:
+        """Choose the physical plan for one (possibly filtered) query.
+
+        With the planner enabled, candidate plans (linear vs MIH backend,
+        pre vs post filtering, calibrated probe budget, over-fetch size)
+        are priced and the cheapest wins; an explicit ``strategy=``, a
+        federation ``plan_hint``, or a deprecated config override pins the
+        corresponding dimension.  With the planner disabled the legacy
+        selectivity-threshold heuristics produce the (single) plan, so
+        pre-planner deployments behave identically.
+        """
+        n = len(self._names)
+        forced_mode = None
+        selectivity = filter_count = None
+        if row_filter is not None:
+            if strategy not in _FILTER_MODES:
+                raise ValidationError(
+                    f"strategy must be one of {_FILTER_MODES}, got {strategy!r}")
+            if strategy != "auto":
+                forced_mode = strategy
+            selectivity = row_filter.selectivity(n)
+            filter_count = row_filter.count
+        if not self.planner.config.enabled:
+            mode = overfetch = None
+            if row_filter is not None:
+                mode = self._filter_mode(row_filter, strategy)
+                if mode == "post" and k is not None:
+                    overfetch = self._initial_fetch(k, row_filter)
+            return PlanChoice(
+                chosen=PhysicalPlan(backend="mih", filter_mode=mode,
+                                    overfetch=overfetch, estimator="legacy"),
+                forced=True, context={"corpus_size": n})
+        forced_backend = None
+        if plan_hint:
+            forced_backend = plan_hint.get("backend")
+            if forced_backend not in ("mih", "linear"):
+                # The hint came from a tier with a different backend menu
+                # (e.g. a gateway's "sharded"); keep the transferable part.
+                forced_backend = None
+            if forced_mode is None and row_filter is not None:
+                forced_mode = plan_hint.get("filter_mode")
+        overrides = self._planner_overrides
+        threshold = overrides.get("prefilter_max_selectivity")
+        if forced_mode is None and row_filter is not None and \
+                threshold is not None:
+            forced_mode = "pre" if selectivity <= threshold else "post"
+        return self.planner.plan_similarity(
+            corpus_size=n, k=k, radius=radius, selectivity=selectivity,
+            filter_count=filter_count, num_bits=self.hasher.num_bits,
+            num_tables=self.config.mih_tables, forced_mode=forced_mode,
+            forced_backend=forced_backend,
+            overfetch_factor=overrides.get("overfetch_factor"))
+
+    def plan_query(self, row_filter: "RowFilter | None" = None, *,
+                   k: "int | None" = None, radius: "int | None" = None,
+                   strategy: str = "auto") -> PlanChoice:
+        """The planner's decision for one query, without executing it.
+
+        The federation front-end calls this on a query's owning node and
+        scatters the chosen plan's summary so every member executes one
+        consistent strategy (results are byte-identical either way — the
+        hint only pins latency behavior).
+        """
+        return self._plan_for(row_filter, k=k, radius=radius,
+                              strategy=strategy)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -578,21 +667,27 @@ class CBIRService:
 
     def query_code(self, code: np.ndarray, *, k: "int | None" = None,
                    radius: "int | None" = None, filter: object = None,
-                   strategy: str = "auto") -> "tuple[list[SearchResult], int]":
+                   strategy: str = "auto", plan_hint: "dict | None" = None,
+                   ) -> "tuple[list[SearchResult], int]":
         """Raw packed-code search: ``(results, radius_used)``.
 
         The federation tier's per-node entry point — a remote peer resolves
         a query to a code once, then every member archive answers the same
         code (each applying ``filter`` against its own metadata).
-        Semantics match :meth:`_run` exactly (no self-match handling;
-        response shaping is the caller's job).
+        ``plan_hint`` carries the owner node's plan summary so federation
+        members make one consistent pre/post decision instead of each
+        re-planning from local statistics.  Semantics match :meth:`_run`
+        exactly (no self-match handling; response shaping is the caller's
+        job).
         """
         return self._run(np.asarray(code, dtype=np.uint64), k=k, radius=radius,
-                         filter=filter, strategy=strategy)
+                         filter=filter, strategy=strategy,
+                         plan_hint=plan_hint)
 
     def query_codes_batch(self, codes: np.ndarray, *, k: "int | None" = None,
                           radius: "int | None" = None, filter: object = None,
                           strategy: str = "auto",
+                          plan_hint: "dict | None" = None,
                           ) -> "list[tuple[list[SearchResult], int]]":
         """Batch :meth:`query_code`: one ``(results, radius_used)`` per row."""
         codes = np.asarray(codes, dtype=np.uint64)
@@ -600,7 +695,8 @@ class CBIRService:
             raise ValidationError(
                 f"batch code query expects (Q, W) packed codes, got {codes.shape}")
         batches, used_list = self._run_batch(codes, k=k, radius=radius,
-                                             filter=filter, strategy=strategy)
+                                             filter=filter, strategy=strategy,
+                                             plan_hint=plan_hint)
         return list(zip(batches, used_list))
 
     @staticmethod
@@ -618,85 +714,115 @@ class CBIRService:
             return radius
         return results[-1].distance if results else 0
 
-    def _run_batch(self, codes: np.ndarray, *, k: "int | None",
-                   radius: "int | None", filter: object = None,
-                   strategy: str = "auto",
-                   ) -> "tuple[list[list[SearchResult]], list[int]]":
-        self._validate_params(k, radius)
-        tracing.annotate(backend="mih")
-        row_filter = self._coerce_filter(filter)
-        if row_filter is None:
-            if radius is not None:
-                batches = self._index.search_radius_batch(codes, radius)
-            else:
-                batches = self._index.search_knn_batch(codes, k)
-        elif row_filter.count == 0:
-            batches = [[] for _ in range(codes.shape[0])]
-        else:
-            mode = self._filter_mode(row_filter, strategy)
+    def _annotate_plan_family(self, choice: PlanChoice,
+                              row_filter: "RowFilter | None") -> None:
+        """Annotate the request's query family from the chosen plan."""
+        plan = choice.chosen
+        tracing.annotate(backend=plan.backend)
+        if row_filter is not None:
+            mode = plan.filter_mode
             tracing.annotate(
                 filter_mode=mode, filter_count=row_filter.count,
                 strategy="prefilter" if mode == "pre" else "postfilter",
                 selectivity=row_filter.selectivity(len(self._names)))
+
+    def _run_batch(self, codes: np.ndarray, *, k: "int | None",
+                   radius: "int | None", filter: object = None,
+                   strategy: str = "auto", plan_hint: "dict | None" = None,
+                   ) -> "tuple[list[list[SearchResult]], list[int]]":
+        self._validate_params(k, radius)
+        row_filter = self._coerce_filter(filter)
+        if row_filter is not None and row_filter.count == 0:
+            tracing.annotate(backend="mih")
+            batches = [[] for _ in range(codes.shape[0])]
+            return batches, [self._used_radius(results, radius)
+                             for results in batches]
+        choice = self._plan_for(row_filter, k=k, radius=radius,
+                                strategy=strategy, plan_hint=plan_hint)
+        plan = choice.chosen
+        self._annotate_plan_family(choice, row_filter)
+        budget = plan.probe_budget
+        started = time.perf_counter_ns()
+        if row_filter is None:
             if radius is not None:
-                if mode == "pre":
-                    batches = self._index.search_radius_batch(
-                        codes, radius, allowed=row_filter.mask)
-                else:
-                    batches = [
-                        [r for r in results if r.item_id in row_filter.names]
-                        for results in self._index.search_radius_batch(
-                            codes, radius)]
-            elif mode == "pre":
-                batches = self._index.search_knn_batch(
-                    codes, k, allowed=row_filter.mask)
+                batches = self._index.search_radius_batch(
+                    codes, radius, probe_budget=budget)
             else:
-                # One shared over-fetch pass for the whole batch, then
-                # per-query refill for the (rare) under-filled screens.
-                n = len(self._names)
-                fetch = self._initial_fetch(k, row_filter)
-                fetched = self._index.search_knn_batch(codes, fetch)
-                batches = []
-                for position, results in enumerate(fetched):
-                    kept = [r for r in results
-                            if r.item_id in row_filter.names]
-                    if len(kept) >= k or fetch >= n:
-                        batches.append(kept[:k])
-                    else:
-                        batches.append(self._postfilter_knn(
-                            codes[position], k, row_filter,
-                            start_fetch=min(n, fetch * 4)))
+                batches = self._index.search_knn_batch(
+                    codes, k, probe_budget=budget)
+        elif radius is not None:
+            if plan.filter_mode == "pre":
+                batches = self._index.search_radius_batch(
+                    codes, radius, allowed=row_filter.mask,
+                    probe_budget=budget)
+            else:
+                batches = [
+                    [r for r in results if r.item_id in row_filter.names]
+                    for results in self._index.search_radius_batch(
+                        codes, radius, probe_budget=budget)]
+        elif plan.filter_mode == "pre":
+            batches = self._index.search_knn_batch(
+                codes, k, allowed=row_filter.mask, probe_budget=budget)
+        else:
+            # One shared over-fetch pass for the whole batch, then
+            # per-query refill for the (rare) under-filled screens.
+            n = len(self._names)
+            fetch = plan.overfetch if plan.overfetch is not None else \
+                self._initial_fetch(k, row_filter)
+            fetched = self._index.search_knn_batch(codes, fetch,
+                                                   probe_budget=budget)
+            batches = []
+            for position, results in enumerate(fetched):
+                kept = [r for r in results
+                        if r.item_id in row_filter.names]
+                if len(kept) >= k or fetch >= n:
+                    batches.append(kept[:k])
+                else:
+                    batches.append(self._postfilter_knn(
+                        codes[position], k, row_filter,
+                        start_fetch=min(n, fetch * 4), probe_budget=budget))
+        tracing.annotate(plan=choice.explain(
+            measured_ns=time.perf_counter_ns() - started))
         return batches, [self._used_radius(results, radius)
                          for results in batches]
 
     def _run(self, code: np.ndarray, *, k: "int | None",
              radius: "int | None", filter: object = None,
-             strategy: str = "auto") -> tuple[list[SearchResult], int]:
+             strategy: str = "auto", plan_hint: "dict | None" = None,
+             ) -> tuple[list[SearchResult], int]:
         self._validate_params(k, radius)
-        tracing.annotate(backend="mih")
         row_filter = self._coerce_filter(filter)
+        if row_filter is not None and row_filter.count == 0:
+            tracing.annotate(backend="mih")
+            return [], self._used_radius([], radius)
+        choice = self._plan_for(row_filter, k=k, radius=radius,
+                                strategy=strategy, plan_hint=plan_hint)
+        plan = choice.chosen
+        self._annotate_plan_family(choice, row_filter)
+        budget = plan.probe_budget
+        started = time.perf_counter_ns()
         if row_filter is None:
             if radius is not None:
-                return self._index.search_radius(code, radius), radius
-            results = self._index.search_knn(code, k)
-            return results, self._used_radius(results, None)
-        if row_filter.count == 0:
-            return [], self._used_radius([], radius)
-        mode = self._filter_mode(row_filter, strategy)
-        tracing.annotate(
-            filter_mode=mode, filter_count=row_filter.count,
-            strategy="prefilter" if mode == "pre" else "postfilter",
-            selectivity=row_filter.selectivity(len(self._names)))
-        if radius is not None:
-            if mode == "pre":
-                results = self._index.search_radius(
-                    code, radius, allowed=row_filter.mask)
+                results = self._index.search_radius(code, radius,
+                                                    probe_budget=budget)
             else:
-                results = [r for r in self._index.search_radius(code, radius)
+                results = self._index.search_knn(code, k, probe_budget=budget)
+        elif radius is not None:
+            if plan.filter_mode == "pre":
+                results = self._index.search_radius(
+                    code, radius, allowed=row_filter.mask,
+                    probe_budget=budget)
+            else:
+                results = [r for r in self._index.search_radius(
+                               code, radius, probe_budget=budget)
                            if r.item_id in row_filter.names]
-            return results, radius
-        if mode == "pre":
-            results = self._index.search_knn(code, k, allowed=row_filter.mask)
+        elif plan.filter_mode == "pre":
+            results = self._index.search_knn(code, k, allowed=row_filter.mask,
+                                             probe_budget=budget)
         else:
-            results = self._postfilter_knn(code, k, row_filter)
-        return results, self._used_radius(results, None)
+            results = self._postfilter_knn(code, k, row_filter,
+                                           start_fetch=plan.overfetch,
+                                           probe_budget=budget)
+        tracing.annotate(plan=choice.explain(
+            measured_ns=time.perf_counter_ns() - started))
+        return results, self._used_radius(results, radius)

@@ -28,6 +28,7 @@ from ..core.hasher import MiLaNHasher
 from ..errors import UnknownPatchError, ValidationError
 from ..features.extractor import FeatureExtractor
 from ..obs import Observability
+from ..planner import QueryPlanner
 from ..store.database import Database, IMAGE_DATA, METADATA, RENDERED_IMAGES
 from .cart import DownloadCart
 from .cbir import CBIRService, SimilarityResponse
@@ -70,6 +71,14 @@ class EarthQube:
         # scatter into this node) degrades to a child span, stitching the
         # node's work into the caller's tree.  See repro.obs.
         self.obs = Observability(config.obs)
+        # The shared cost-based query planner (repro.planner): auto-loads
+        # calibration.json when present (falling back to shipped default
+        # units), reads live workload statistics, and is consulted by the
+        # CBIR service, the serving gateway, and the federation facade so
+        # every tier prices plans with the same units.
+        self.planner = QueryPlanner.from_config(
+            config.planner, workload=self.obs.workload)
+        self.cbir.use_planner(self.planner)
 
     # ------------------------------------------------------------------ #
     # Bootstrap
@@ -586,6 +595,7 @@ class EarthQube:
             "collections": self.db.collection_names(),
             "metadata_documents": len(self.db[METADATA]),
         }
+        summary["planner"] = self.planner.describe()
         summary["serving"] = (self.gateway.describe()
                               if self.gateway is not None else None)
         return summary

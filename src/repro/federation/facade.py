@@ -387,7 +387,11 @@ class FederatedEarthQube:
             # filter_spec rides along only when set, so stubs/peers speaking
             # the unfiltered protocol keep working.
             filter_kwargs = {} if filter is None else {"filter_spec": filter}
-            fn = self._code_query_fn(code, request_k, radius, filter_kwargs)
+            plan_hint = (None if filter is None else
+                         self._scatter_plan(owner, req, k=request_k,
+                                            radius=radius, filter_spec=filter))
+            fn = self._code_query_fn(code, request_k, radius, filter_kwargs,
+                                     plan_hint)
             if self.elastic:
                 outcomes, meta = self.executor.scatter_replicated(
                     fn, chains=self.ring.replica_chains(), targets=targets,
@@ -411,12 +415,40 @@ class FederatedEarthQube:
                 shape_name_response(query_id, merged, used, k), meta)
 
     @staticmethod
+    def _scatter_plan(owner: FederatedNode, req, *, k: "int | None",
+                      radius: "int | None",
+                      filter_spec) -> "dict | None":
+        """Plan once at the owning node; return the summary to scatter.
+
+        The owner's planner prices the query against its own corpus and
+        workload statistics; the chosen plan's summary (backend + filter
+        mode) rides the scatter as a ``plan_hint`` so every member runs
+        one consistent strategy, and the full decision (rejected
+        alternatives, predicted costs) is recorded on the federation
+        request span for ``explain=true``.  ``None`` — scatter without a
+        hint — when the planner is disabled or the filter is empty; call
+        sites also skip the hint entirely for unfiltered queries, both
+        because each member's backend choice should track its own corpus
+        size and so stubs/peers speaking the unfiltered protocol keep
+        working.
+        """
+        choice = owner.plan_choice(k=k, radius=radius,
+                                   filter_spec=filter_spec)
+        if choice is None:
+            return None
+        req.annotate(plan=choice.explain())
+        return choice.chosen.summary()
+
+    @staticmethod
     def _code_query_fn(code: np.ndarray, request_k: "int | None",
-                       radius: "int | None", filter_kwargs: dict):
+                       radius: "int | None", filter_kwargs: dict,
+                       plan_hint: "dict | None" = None):
+        hint_kwargs = {} if plan_hint is None else {"plan_hint": plan_hint}
+
         def fn(node: FederatedNode):
             try:
                 return node.query_code(code, k=request_k, radius=radius,
-                                       **filter_kwargs)
+                                       **filter_kwargs, **hint_kwargs)
             except EmptyIndexError:
                 # An elastic replica can legitimately be empty (all its
                 # patches deleted, or a fresh joiner racing the handoff):
@@ -454,12 +486,17 @@ class FederatedEarthQube:
             namespace = self._namespacing()
             targets, pre_skipped = self._compatible_targets(widths.pop())
             filter_kwargs = {} if filter is None else {"filter_spec": filter}
+            plan_hint = (None if filter is None else
+                         self._scatter_plan(resolved[0][0], req, k=request_k,
+                                            radius=radius, filter_spec=filter))
+            hint_kwargs = {} if plan_hint is None else {"plan_hint": plan_hint}
 
             def fn(node: FederatedNode):
                 try:
                     return node.query_codes_batch(codes, k=request_k,
                                                   radius=radius,
-                                                  **filter_kwargs)
+                                                  **filter_kwargs,
+                                                  **hint_kwargs)
                 except EmptyIndexError:
                     return [([], 0)] * len(names)
 

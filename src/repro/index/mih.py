@@ -415,6 +415,19 @@ class MultiIndexHashing:
         """
         return max(len(self._ids), 1024)
 
+    def _effective_budget(self, probe_budget: "int | None") -> int:
+        """Resolve a caller-supplied probe budget override.
+
+        The cost-based planner passes its calibrated ladder-depth bound
+        here; ``0`` forces the exact-scan path outright (how a plan
+        expresses the *linear* backend on this index), ``None`` keeps the
+        row-count default.  Any budget yields byte-identical results —
+        the fallback is exact — so this knob only moves cost around.
+        """
+        if probe_budget is None:
+            return self._probe_budget()
+        return max(int(probe_budget), 0)
+
     # ------------------------------------------------------------------ #
     # Candidate gathering (shared by every search path)
     # ------------------------------------------------------------------ #
@@ -581,6 +594,7 @@ class MultiIndexHashing:
 
     def _radius_arrays(self, queries: np.ndarray, radius: int,
                        allowed: "np.ndarray | None" = None,
+                       probe_budget: "int | None" = None,
                        ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, int, np.ndarray]":
         """Verified results of a radius batch, as raw arrays.
 
@@ -595,7 +609,7 @@ class MultiIndexHashing:
         num_queries = queries.shape[0]
         archive_codes = self._materialize()
         substring_radius = radius // self.num_tables
-        if self._probe_cost(substring_radius) > self._probe_budget():
+        if self._probe_cost(substring_radius) > self._effective_budget(probe_budget):
             # Bucket enumeration would cost more than scanning the archive
             # (and its mask sets would be combinatorially large): verify
             # every row instead.  Same exact results, bounded cost.
@@ -739,6 +753,7 @@ class MultiIndexHashing:
     def search_radius_batch(self, codes: np.ndarray, radius: int,
                             *, with_stats: bool = False,
                             allowed: "np.ndarray | None" = None,
+                            probe_budget: "int | None" = None,
                             ) -> ("list[list[SearchResult]] | tuple[list[list[SearchResult]], "
                                   "list[RadiusSearchStats]]"):
         """Radius search for a ``(Q, W)`` batch of packed queries.
@@ -759,7 +774,7 @@ class MultiIndexHashing:
         with tracing.span("mih.radius", radius=radius,
                           queries=num_queries) as radius_span:
             rows, distances, bounds, probes, candidate_counts = \
-                self._radius_arrays(queries, radius, allowed)
+                self._radius_arrays(queries, radius, allowed, probe_budget)
             radius_span.annotate(buckets_probed=probes,
                                  candidates=int(candidate_counts.sum()))
         out = [self._materialize_results(rows, distances, int(bounds[query]),
@@ -777,6 +792,7 @@ class MultiIndexHashing:
     def search_radius(self, code: np.ndarray, radius: int,
                       *, with_stats: bool = False,
                       allowed: "np.ndarray | None" = None,
+                      probe_budget: "int | None" = None,
                       ) -> "list[SearchResult] | tuple[list[SearchResult], RadiusSearchStats]":
         """All (allowed) items within Hamming ``radius``, nearest first."""
         code = np.asarray(code, dtype=np.uint64)
@@ -785,7 +801,8 @@ class MultiIndexHashing:
                 f"search_radius expects a single packed code, got {code.shape}")
         batch = self.search_radius_batch(code[None, :], radius,
                                          with_stats=with_stats,
-                                         allowed=allowed)
+                                         allowed=allowed,
+                                         probe_budget=probe_budget)
         if with_stats:
             results, stats_list = batch
             return results[0], stats_list[0]
@@ -798,6 +815,7 @@ class MultiIndexHashing:
     def search_knn_batch(self, codes: np.ndarray, k: int,
                          *, max_radius: "int | None" = None,
                          allowed: "np.ndarray | None" = None,
+                         probe_budget: "int | None" = None,
                          ) -> "list[list[SearchResult]]":
         """The ``k`` nearest items for a ``(Q, W)`` batch of queries.
 
@@ -822,7 +840,7 @@ class MultiIndexHashing:
         num_queries = queries.shape[0]
         if num_queries == 1:
             return [self._knn_single(queries[0], k, limit, archive_codes,
-                                     allowed)]
+                                     allowed, probe_budget)]
         total_rows = np.int64(len(self._ids))
         out: "list[list[SearchResult] | None]" = [None] * num_queries
         active = np.arange(num_queries, dtype=np.int64)
@@ -836,7 +854,7 @@ class MultiIndexHashing:
         with tracing.span("mih.knn", queries=num_queries, k=k) as knn_span:
             while active.shape[0]:
                 substring_radius = radius // self.num_tables
-                if self._probe_cost(substring_radius) > self._probe_budget():
+                if self._probe_cost(substring_radius) > self._effective_budget(probe_budget):
                     # The ladder degenerated (far queries / k beyond the
                     # reachable neighborhood): finishing by exact scan gives
                     # identical results at bounded cost instead of probing a
@@ -902,7 +920,8 @@ class MultiIndexHashing:
 
     def _knn_single(self, query: np.ndarray, k: int, limit: int,
                     archive_codes: np.ndarray,
-                    allowed: "np.ndarray | None" = None) -> list[SearchResult]:
+                    allowed: "np.ndarray | None" = None,
+                    probe_budget: "int | None" = None) -> list[SearchResult]:
         """The incremental kNN ladder for one query (no pair keys)."""
         acc_rows = np.empty(0, dtype=np.int64)
         acc_distances = np.empty(0, dtype=np.int64)
@@ -911,7 +930,7 @@ class MultiIndexHashing:
         with tracing.span("mih.knn", queries=1, k=k) as knn_span:
             while True:
                 substring_radius = radius // self.num_tables
-                if self._probe_cost(substring_radius) > self._probe_budget():
+                if self._probe_cost(substring_radius) > self._effective_budget(probe_budget):
                     knn_span.annotate(fallback=True, ladder_radius=radius,
                                       layers_probed=probed_layer + 1)
                     return self._linear_knn(query, k, limit, archive_codes,
@@ -974,7 +993,8 @@ class MultiIndexHashing:
 
     def search_knn(self, code: np.ndarray, k: int,
                    *, max_radius: "int | None" = None,
-                   allowed: "np.ndarray | None" = None) -> list[SearchResult]:
+                   allowed: "np.ndarray | None" = None,
+                   probe_budget: "int | None" = None) -> list[SearchResult]:
         """The ``k`` nearest (allowed) items, growing the radius in
         substring steps.
 
@@ -988,4 +1008,5 @@ class MultiIndexHashing:
             raise ValidationError(
                 f"search_knn expects a single packed code, got {code.shape}")
         return self.search_knn_batch(code[None, :], k, max_radius=max_radius,
-                                     allowed=allowed)[0]
+                                     allowed=allowed,
+                                     probe_budget=probe_budget)[0]

@@ -43,6 +43,12 @@ from .tracing import add_cost  # noqa: F401  (re-exported instrumentation API)
 #: Span/ledger attributes that classify a request into a query family.
 FAMILY_ATTRS = ("backend", "strategy", "filter_mode", "selectivity")
 
+#: Extra attributes carried through into request profiles (not part of the
+#: family key): the planner's decision records ride the span so
+#: ``explain=true`` can report chosen vs rejected plans — ``plan`` for the
+#: similarity planner, ``store_plan`` for the columnar intersection order.
+PROFILE_ATTRS = FAMILY_ATTRS + ("plan", "store_plan")
+
 #: Upper edges of the filter-selectivity buckets (fraction of the corpus).
 SELECTIVITY_EDGES = (0.01, 0.1, 0.5)
 
@@ -104,7 +110,7 @@ def profile_from_tree(tree: "dict | None") -> "dict | None":
             stage_costs = stage.setdefault("costs", {})
             for key, value in node_costs.items():
                 stage_costs[key] = stage_costs.get(key, 0) + int(value)
-        for key in FAMILY_ATTRS:
+        for key in PROFILE_ATTRS:
             value = node.get("attrs", {}).get(key)
             if value is not None and key not in attrs:
                 attrs[key] = value

@@ -36,13 +36,22 @@ _TRACE_IDS = count(1)
 _local = threading.local()
 
 def _clean(value: Any) -> Any:
-    """Coerce a span attribute to a JSON-safe primitive."""
+    """Coerce a span attribute to a JSON-safe value.
+
+    Containers are kept structured (recursively cleaned) so attributes
+    like the planner's ``plan`` decision survive into profiles instead of
+    degrading to their ``repr``.
+    """
     if isinstance(value, (str, bool, type(None))):
         return value
     if isinstance(value, numbers.Integral):  # numpy ints from scan stats
         return int(value)
     if isinstance(value, numbers.Real):  # numpy floats subclass float
         return float(value)
+    if isinstance(value, dict):
+        return {str(key): _clean(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(item) for item in value]
     return repr(value)
 
 

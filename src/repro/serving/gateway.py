@@ -25,6 +25,8 @@ from __future__ import annotations
 import copy
 import math
 import threading
+import time
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -35,6 +37,7 @@ from ..earthqube.query import QuerySpec
 from ..earthqube.search import SearchResponse
 from ..errors import ValidationError
 from ..obs import tracing
+from ..planner import PhysicalPlan, PlanChoice, deprecated_overrides
 from .batching import MicroBatcher
 from .cache import QueryResultCache, canonical_code_key, canonical_spec_key
 from .metrics import MetricsRegistry
@@ -157,20 +160,27 @@ class ServingGateway:
 
     def query_code(self, code: np.ndarray, *, k: "int | None" = None,
                    radius: "int | None" = None,
-                   filter: "QuerySpec | None" = None) -> tuple[list, int]:
+                   filter: "QuerySpec | None" = None,
+                   strategy: str = "auto",
+                   plan_hint: "dict | None" = None) -> tuple[list, int]:
         """Raw packed-code search: ``(results, radius_used)``.
 
         The federation tier's per-node entry point — the same
         cache -> batcher -> shards pipeline as :meth:`similar_images`, but
         without name resolution or self-match shaping (the federated
-        caller shapes the merged response itself).
+        caller shapes the merged response itself).  ``strategy`` pins the
+        pre/post filter plan; ``plan_hint`` carries the federation owner's
+        plan summary so members decide consistently.
         """
         return self._cached_code_query(np.asarray(code, dtype=np.uint64),
-                                       k=k, radius=radius, filter_spec=filter)
+                                       k=k, radius=radius, filter_spec=filter,
+                                       strategy=strategy, plan_hint=plan_hint)
 
     def query_codes_batch(self, codes, *, k: "int | None" = None,
                           radius: "int | None" = None,
                           filter: "QuerySpec | None" = None,
+                          strategy: str = "auto",
+                          plan_hint: "dict | None" = None,
                           ) -> "list[tuple[list, int]]":
         """Batch :meth:`query_code`: one ``(results, radius_used)`` per code.
 
@@ -184,7 +194,9 @@ class ServingGateway:
         codes = [np.asarray(code, dtype=np.uint64) for code in codes]
         if filter is not None:
             return self._filtered_codes_batch(codes, k=k, radius=radius,
-                                              filter_spec=filter)
+                                              filter_spec=filter,
+                                              strategy=strategy,
+                                              plan_hint=plan_hint)
         outcomes: "list[tuple[list, int] | None]" = [None] * len(codes)
         miss_positions: list[int] = []
         miss_keys: list[tuple] = []
@@ -206,10 +218,14 @@ class ServingGateway:
                                  cache_misses=len(miss_jobs))
         if miss_jobs:
             generation = self._generation
+            choice = self._plan_code_query(None, k=k, radius=radius)
+            started = time.perf_counter_ns()
             with self.metrics.timer("similar.execute"), \
                     tracing.span("batch.wait", jobs=len(miss_jobs)):
                 futures = self.batcher.submit_many(miss_jobs)
                 resolved = [future.result() for future in futures]
+            tracing.annotate(plan=choice.explain(
+                measured_ns=time.perf_counter_ns() - started))
             for position, key, results in zip(miss_positions, miss_keys,
                                               resolved):
                 used = self._used_radius(results, radius)
@@ -267,16 +283,71 @@ class ServingGateway:
             self.cache.put(key, row_filter)
         return row_filter
 
-    def _filter_plan(self, row_filter) -> str:
-        """Cost-based pre/post choice (same policy as CBIRService)."""
-        threshold = self.system.cbir.config.prefilter_max_selectivity
+    def _planner(self):
+        """The shared cost-based planner (system-level when available)."""
+        planner = getattr(self.system, "planner", None)
+        return planner if planner is not None else self.system.cbir.planner
+
+    def _plan_code_query(self, row_filter, *, k: "int | None",
+                         radius: "int | None", strategy: str = "auto",
+                         plan_hint: "dict | None" = None) -> PlanChoice:
+        """Plan one gateway code query (``row_filter`` may be ``None``).
+
+        The gateway's backend is pinned by configuration (the sharded index
+        scans through ``shard_backend``), so the planner prices the other
+        backend only as a reported alternative; the live decisions are the
+        pre/post filter mode and the post-filter over-fetch.  The shards
+        keep their own ladder policy — the plan's probe budget is never
+        pushed down, so index-internal spans stay intact.
+        """
         corpus = len(self.index)
-        return ("pre" if row_filter.selectivity(corpus) <= threshold
-                else "post")
+        inner = "linear" if self.config.shard_backend == "linear" else "mih"
+        cbir_config = self.system.cbir.config
+        planner = self._planner()
+        context = {"tier": "sharded", "shards": self.index.num_shards}
+        selectivity = filter_count = None
+        forced_mode = None
+        if row_filter is not None:
+            selectivity = row_filter.selectivity(corpus)
+            filter_count = row_filter.count
+            if strategy in ("pre", "post"):
+                forced_mode = strategy
+            elif plan_hint and plan_hint.get("filter_mode"):
+                forced_mode = plan_hint["filter_mode"]
+        if not planner.config.enabled:
+            mode = overfetch = None
+            if row_filter is not None:
+                mode = forced_mode or (
+                    "pre" if selectivity
+                    <= cbir_config.prefilter_max_selectivity else "post")
+                if mode == "post" and k is not None:
+                    overfetch = min(corpus, max(k, math.ceil(
+                        k * corpus * cbir_config.postfilter_overfetch
+                        / max(filter_count, 1))))
+            return PlanChoice(
+                chosen=PhysicalPlan(backend=inner, filter_mode=mode,
+                                    overfetch=overfetch, estimator="legacy"),
+                forced=True, context={"corpus_size": corpus, **context})
+        overrides = deprecated_overrides(cbir_config, warn=False)
+        threshold = overrides.get("prefilter_max_selectivity")
+        if forced_mode is None and row_filter is not None \
+                and threshold is not None:
+            forced_mode = "pre" if selectivity <= threshold else "post"
+        choice = planner.plan_similarity(
+            corpus_size=corpus, k=k, radius=radius, selectivity=selectivity,
+            filter_count=filter_count, num_bits=self.system.hasher.num_bits,
+            num_tables=self.config.mih_tables, forced_backend=inner,
+            forced_mode=forced_mode,
+            overfetch_factor=overrides.get("overfetch_factor"))
+        return replace(choice,
+                       chosen=replace(choice.chosen, probe_budget=None),
+                       forced=forced_mode is not None,
+                       context={**choice.context, **context})
 
     def _execute_filtered(self, code: np.ndarray, *, k: "int | None",
                           radius: "int | None", row_filter,
-                          fingerprint) -> tuple[list, int]:
+                          fingerprint, strategy: str = "auto",
+                          plan_hint: "dict | None" = None) -> tuple[list, int]:
         """Run one filtered code query through the chosen plan.
 
         *Pre-filter*: the allowed mask rides the :class:`CodeQuery` into
@@ -288,8 +359,11 @@ class ServingGateway:
         """
         if row_filter.count == 0:
             return [], (radius if radius is not None else 0)
+        choice = self._plan_code_query(row_filter, k=k, radius=radius,
+                                       strategy=strategy, plan_hint=plan_hint)
         selectivity = row_filter.selectivity(len(self.index))
-        if self._filter_plan(row_filter) == "pre":
+        started = time.perf_counter_ns()
+        if choice.chosen.filter_mode == "pre":
             self.metrics.counter("filter.prefilter").increment()
             tracing.annotate(filter_plan="pre", strategy="prefilter",
                              selectivity=selectivity)
@@ -303,30 +377,41 @@ class ServingGateway:
             with self.metrics.timer("similar.execute"), \
                     tracing.span("batch.wait", jobs=1):
                 results = self.batcher.submit(job).result()
-            return results, self._used_radius(results, radius)
+            outcome = results, self._used_radius(results, radius)
+            tracing.annotate(plan=choice.explain(
+                measured_ns=time.perf_counter_ns() - started))
+            return outcome
         self.metrics.counter("filter.postfilter").increment()
         tracing.annotate(filter_plan="post", strategy="postfilter",
                          selectivity=selectivity)
         if radius is not None:
             results, _ = self._cached_code_query(code, k=None, radius=radius)
             kept = [r for r in results if r.item_id in row_filter.names]
+            tracing.annotate(plan=choice.explain(
+                measured_ns=time.perf_counter_ns() - started))
             return kept, radius
         corpus = len(self.index)
         cbir_config = self.system.cbir.config
-        fetch = min(corpus, max(k, math.ceil(
-            k * corpus * cbir_config.postfilter_overfetch
-            / max(row_filter.count, 1))))
+        fetch = choice.chosen.overfetch
+        if fetch is None:
+            fetch = min(corpus, max(k, math.ceil(
+                k * corpus * cbir_config.postfilter_overfetch
+                / max(row_filter.count, 1))))
         while True:
             results, _ = self._cached_code_query(code, k=fetch, radius=None)
             kept = [r for r in results if r.item_id in row_filter.names]
             if len(kept) >= k or fetch >= corpus:
                 kept = kept[:k]
+                tracing.annotate(plan=choice.explain(
+                    measured_ns=time.perf_counter_ns() - started))
                 return kept, self._used_radius(kept, None)
             fetch = min(corpus, fetch * 4)
 
     def _filtered_codes_batch(self, codes: "list[np.ndarray]", *,
                               k: "int | None", radius: "int | None",
                               filter_spec: "QuerySpec",
+                              strategy: str = "auto",
+                              plan_hint: "dict | None" = None,
                               ) -> "list[tuple[list, int]]":
         """Batch path for filtered queries: per-code cache, one shared
         filter resolution, coalesced pre-filter misses."""
@@ -356,7 +441,12 @@ class ServingGateway:
         # stale mask must not be re-cached afterwards.
         generation = self._generation
         row_filter = self._row_filter(filter_spec)
-        if row_filter.count and self._filter_plan(row_filter) == "pre":
+        choice = None
+        if row_filter.count:
+            choice = self._plan_code_query(row_filter, k=k, radius=radius,
+                                           strategy=strategy,
+                                           plan_hint=plan_hint)
+        if choice is not None and choice.chosen.filter_mode == "pre":
             # All misses share one mask and fingerprint: submitted in one
             # go, they coalesce into one scatter-gather scan (the
             # micro-batch groups by filter_key).
@@ -366,6 +456,7 @@ class ServingGateway:
                              selectivity=row_filter.selectivity(
                                  len(self.index)))
             trace = tracing.capture()
+            started = time.perf_counter_ns()
             jobs = [(CodeQuery(code=codes[p], radius=radius,
                                allowed=row_filter.mask,
                                filter_key=fingerprint, trace=trace)
@@ -378,6 +469,8 @@ class ServingGateway:
                     tracing.span("batch.wait", jobs=len(jobs)):
                 futures = self.batcher.submit_many(jobs)
                 resolved = [future.result() for future in futures]
+            tracing.annotate(plan=choice.explain(
+                measured_ns=time.perf_counter_ns() - started))
             for position, results in zip(miss_positions, resolved):
                 used = self._used_radius(results, radius)
                 if generation == self._generation:
@@ -387,7 +480,8 @@ class ServingGateway:
             for position in miss_positions:
                 results, used = self._execute_filtered(
                     codes[position], k=k, radius=radius,
-                    row_filter=row_filter, fingerprint=fingerprint)
+                    row_filter=row_filter, fingerprint=fingerprint,
+                    strategy=strategy, plan_hint=plan_hint)
                 if generation == self._generation:
                     self.cache.put(keys[position], (tuple(results), used))
                 outcomes[position] = (results, used)
@@ -396,6 +490,8 @@ class ServingGateway:
     def _cached_code_query(self, code: np.ndarray, *, k: "int | None",
                            radius: "int | None",
                            filter_spec: "QuerySpec | None" = None,
+                           strategy: str = "auto",
+                           plan_hint: "dict | None" = None,
                            ) -> tuple[list, int]:
         self._validate_code_query(k, radius)
         if filter_spec is not None:
@@ -411,6 +507,7 @@ class ServingGateway:
                                      cache_misses=int(cached is None))
             if cached is not None:
                 results, used = cached
+                tracing.annotate(plan={"source": "cache"})
                 return list(results), used
             # Generation snapshot precedes mask resolution (see
             # _filtered_codes_batch): stale-mask results must not be cached.
@@ -418,7 +515,8 @@ class ServingGateway:
             row_filter = self._row_filter(filter_spec)
             results, used = self._execute_filtered(
                 code, k=k, radius=radius, row_filter=row_filter,
-                fingerprint=fingerprint)
+                fingerprint=fingerprint, strategy=strategy,
+                plan_hint=plan_hint)
             if generation == self._generation:
                 self.cache.put(key, (tuple(results), used))
             return results, used
@@ -430,14 +528,19 @@ class ServingGateway:
                                  cache_misses=int(cached is None))
         if cached is not None:
             results, used = cached
+            tracing.annotate(plan={"source": "cache"})
             return list(results), used
         generation = self._generation
+        choice = self._plan_code_query(None, k=k, radius=radius)
+        started = time.perf_counter_ns()
         # Queue wait + scan, as seen by the submitting thread; the scan
         # alone is recorded as similar.scan on the batch worker, so queue
         # time is the difference between the two.
         with self.metrics.timer("similar.execute"), \
                 tracing.span("batch.wait", jobs=1):
             results = self.batcher.submit(job).result()
+        tracing.annotate(plan=choice.explain(
+            measured_ns=time.perf_counter_ns() - started))
         used = self._used_radius(results, radius)
         if generation == self._generation:
             self.cache.put(key, (tuple(results), used))
@@ -580,6 +683,9 @@ class ServingGateway:
         self.metrics.gauge("cache.entries").set(len(self.cache))
         self.metrics.gauge("index.alive").set(len(self.index))
         self.metrics.gauge("index.dead_rows").set(self.index.dead_count)
+        # 1 when pricing from a measured calibration, 0 on shipped defaults.
+        self.metrics.gauge("planner.calibrated").set(
+            int(self._planner().calibrated))
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle

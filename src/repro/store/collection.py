@@ -35,6 +35,7 @@ matched documents, sort keys, ``count``, ``distinct``, and
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
@@ -42,7 +43,7 @@ import numpy as np
 
 from ..errors import DocumentNotFoundError, IndexError_, StoreError
 from ..obs import tracing
-from .columnar import SortedDateColumn, ids_array, intersect_id_arrays, iso_to_int64
+from .columnar import SortedDateColumn, ids_array, iso_to_int64
 from .indexes import GeoHashIndex, HashIndex, UniqueIndex, _hashable
 from .matcher import (
     extract_all_values,
@@ -102,14 +103,14 @@ _DATE_LOWER_OPS = ("$gt", "$gte")
 _DATE_UPPER_OPS = ("$lt", "$lte")
 
 
-def _date_range_ids(column: SortedDateColumn,
-                    condition: Any) -> "np.ndarray | None":
-    """Candidate ids for an ordered/equality condition on a date column.
+def _date_range_bounds(condition: Any,
+                       ) -> "tuple[int | None, int | None] | None":
+    """The inclusive ``[lo, hi]`` int64 range of a date condition.
 
-    Builds the tightest inclusive ``[lo, hi]`` int64 range that is still a
-    superset of the string predicate (strict bounds are widened to
-    inclusive — the exact matcher re-applies strictness).  Returns ``None``
-    when the condition has no parseable ordered constraint.
+    Builds the tightest inclusive range that is still a superset of the
+    string predicate (strict bounds are widened to inclusive — the exact
+    matcher re-applies strictness).  Returns ``None`` when the condition
+    has no parseable ordered constraint; a ``None`` bound is an open side.
     """
     lo: "int | None" = None
     hi: "int | None" = None
@@ -133,7 +134,25 @@ def _date_range_ids(column: SortedDateColumn,
                 applicable = True
     if not applicable:
         return None
-    return column.ids_in_range(lo, hi)
+    return lo, hi
+
+
+def _intersection_cost_ns(sizes: "list[int]", unit_ns: float) -> float:
+    """Predicted cost of intersecting sources in the given order.
+
+    The first source is materialized whole; each later step merges the
+    running result (bounded by the smallest source seen) against the next
+    array, touching both.  Coarse, but it orders candidate source
+    sequences correctly: front-loading a huge source prices visibly worse.
+    """
+    if not sizes:
+        return 0.0
+    touched = sizes[0]
+    running = sizes[0]
+    for size in sizes[1:]:
+        touched += running + size
+        running = min(running, size)
+    return touched * unit_ns
 
 
 class Collection:
@@ -442,45 +461,107 @@ class Collection:
                 ids = sorted({i for i in (index.find(v) for v in values)
                               if i is not None})
                 return ids, f"unique_index:{field_path}"
-        sources: list[tuple[str, np.ndarray]] = []
+        # Gather (tag, estimated size, materializer) per applicable source.
+        # Estimates are O(1) probes (posting lengths, searchsorted counts);
+        # geo covers have no cheap probe and estimate None (sorted last).
+        sources: "list[tuple[str, int | None, Callable[[], np.ndarray]]]" = []
         for field, condition in _iter_field_conditions(query):
             probe = {field: condition}
             hash_index = self._hash_indexes.get(field)
             if hash_index is not None:
                 values = extract_equality(probe, field)
                 if values is not None and _scalar_values(values):
-                    sources.append((f"hash_index:{field}",
-                                    hash_index.postings_any(values)))
+                    sources.append((
+                        f"hash_index:{field}",
+                        hash_index.estimate_any(values),
+                        lambda hi=hash_index, v=values: hi.postings_any(v)))
                     continue
                 all_values = extract_all_values(probe, field)
                 if all_values is not None and _scalar_values(all_values):
-                    sources.append((f"hash_index:{field}",
-                                    hash_index.postings_all(all_values)))
+                    sources.append((
+                        f"hash_index:{field}",
+                        hash_index.estimate_all(all_values),
+                        lambda hi=hash_index, v=all_values: hi.postings_all(v)))
                     continue
             date_column = self._date_columns.get(field)
             if date_column is not None:
-                ids = _date_range_ids(date_column, condition)
-                if ids is not None:
-                    sources.append((f"date_column:{field}", ids))
+                bounds = _date_range_bounds(condition)
+                if bounds is not None:
+                    lo, hi = bounds
+                    sources.append((
+                        f"date_column:{field}",
+                        date_column.estimate_range(lo, hi),
+                        lambda dc=date_column, a=lo, b=hi: dc.ids_in_range(a, b)))
                     continue
             geo_index = self._geo_indexes.get(field)
             if geo_index is not None:
                 shape = extract_geo(probe, field)
                 if shape is not None:
-                    sources.append((f"geo_index:{field}",
-                                    ids_array(geo_index.candidates(shape))))
+                    sources.append((
+                        f"geo_index:{field}", None,
+                        lambda gi=geo_index, s=shape: ids_array(
+                            gi.candidates(s))))
         if not sources:
             return sorted(self._docs.keys()), "scan"
-        loaded = sum(int(ids.shape[0]) for _, ids in sources)
+        # Cost order: materialize ascending by estimated size (unknown-size
+        # sources last, declaration order breaking ties).  Intersection is
+        # commutative, so only cost moves — the smallest source drives the
+        # merge, and an empty running set skips the remaining sources.
+        unknown = max((est for _, est, _ in sources if est is not None),
+                      default=0) + 1
+        order = sorted(range(len(sources)),
+                       key=lambda i: (sources[i][1] if sources[i][1] is not None
+                                      else unknown, i))
+        loaded = 0
+        candidates: "np.ndarray | None" = None
+        started = time.perf_counter_ns()
+        for position in order:
+            _, _, materialize = sources[position]
+            ids = materialize()
+            loaded += int(ids.shape[0])
+            if candidates is None:
+                candidates = ids
+            else:
+                candidates = np.intersect1d(candidates, ids,
+                                            assume_unique=True)
+            if candidates.shape[0] == 0:
+                break
+        measured_ns = time.perf_counter_ns() - started
         tracing.add_cost(postings_loaded=loaded)
-        tags = list(dict.fromkeys(tag for tag, _ in sources))
-        if len(sources) == 1:
-            candidates = sources[0][1]
-        else:
-            candidates = intersect_id_arrays([ids for _, ids in sources])
+        if len(sources) > 1:
             tracing.add_cost(ids_intersected=loaded)
+            self._annotate_store_plan(sources, order, unknown, measured_ns)
+        tags = list(dict.fromkeys(sources[i][0] for i in order))
         plan = tags[0] if len(tags) == 1 else "columnar:" + "&".join(tags)
         return candidates.tolist(), plan
+
+    @staticmethod
+    def _annotate_store_plan(sources, order: "list[int]",
+                             unknown: int, measured_ns: int) -> None:
+        """Record the intersection-order decision for ``explain=true``.
+
+        Priced with the intersection unit cost so the chosen (cost-ordered)
+        sequence can be compared against the declaration-order alternative
+        the legacy planner would have used; when the two coincide the
+        reversed (worst-case) order is reported as the rejected
+        alternative instead.
+        """
+        from ..planner import DEFAULT_UNITS
+        unit = DEFAULT_UNITS["intersect_ns_per_id"]
+        sizes = {i: (sources[i][1] if sources[i][1] is not None else unknown)
+                 for i in range(len(sources))}
+        declared = list(range(len(sources)))
+        alternative = declared if order != declared else declared[::-1]
+        def _entry(sequence):
+            return {"order": [sources[i][0] for i in sequence],
+                    "predicted_ns": round(_intersection_cost_ns(
+                        [sizes[i] for i in sequence], unit), 1)}
+        tracing.annotate(store_plan={
+            "chosen": _entry(order),
+            "rejected": [_entry(alternative)],
+            "estimated_sizes": {sources[i][0]: int(sizes[i])
+                                for i in order},
+            "measured_ns": int(measured_ns)})
 
     def _matching_docs(self, query: "Mapping[str, Any] | None",
                        *, hint: "str | None" = None,

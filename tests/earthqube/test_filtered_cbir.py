@@ -278,7 +278,15 @@ class TestFilteredApi:
                               "explain": True})
         assert payload["ok"]
         explain = payload["explain"]
-        assert explain["plan"].startswith("columnar:")
+        plan = explain["plan"]
+        assert plan["query_plan"].startswith("columnar:")
+        # The multi-source query (season posting + two date bounds)
+        # exercises the cost-ordered intersection planner: the chosen
+        # order, a rejected alternative with its predicted cost, and the
+        # measured intersection cost all surface.
+        assert len(plan["chosen"]["order"]) >= 2
+        assert plan["rejected"] and "predicted_ns" in plan["rejected"][0]
+        assert plan["measured_ns"] >= 0
         assert explain["candidates_examined"] >= payload["total_matches"]
 
     def test_search_without_explain_has_no_section(self, system):
